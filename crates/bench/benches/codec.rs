@@ -1,0 +1,75 @@
+//! Wire codec benchmarks: the per-packet encode/parse costs that bound
+//! any real deployment's fast path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tcp::{Direction, FlowId, Segment, SeqNum};
+use wire::ip::protocol;
+use wire::{Ipv4Header, TcpFlags, TcpHeader, TcpOption, TdnId, TdnNotification};
+
+fn bench_tcp_header(c: &mut Criterion) {
+    let ip = Ipv4Header::new(0x0A000001, 0x0A000002, protocol::TCP);
+    let header = TcpHeader {
+        src_port: 40000,
+        dst_port: 5001,
+        seq: 12345,
+        ack: 999,
+        flags: TcpFlags::ack(),
+        window: 0xFFFF,
+        options: vec![
+            TcpOption::TdDataAck {
+                data_tdn: Some(TdnId(1)),
+                ack_tdn: Some(TdnId(0)),
+            },
+            TcpOption::Sack(vec![(1000, 2000), (3000, 4000)]),
+        ],
+    };
+    let payload = vec![0u8; 1448];
+    c.bench_function("tcp_header_emit_1448B", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(1600);
+            header.emit(&mut buf, &ip, black_box(&payload));
+            black_box(buf)
+        })
+    });
+    let mut encoded = Vec::new();
+    header.emit(&mut encoded, &ip, &payload);
+    c.bench_function("tcp_header_parse_1448B", |b| {
+        b.iter(|| TcpHeader::parse(black_box(&encoded), &ip).unwrap())
+    });
+}
+
+fn bench_icmp(c: &mut Criterion) {
+    let n = TdnNotification {
+        active_tdn: TdnId(1),
+    };
+    c.bench_function("icmp_notification_emit", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(8);
+            n.emit(&mut buf);
+            black_box(buf)
+        })
+    });
+    let mut buf = Vec::new();
+    n.emit(&mut buf);
+    c.bench_function("icmp_notification_parse", |b| {
+        b.iter(|| TdnNotification::parse(black_box(&buf)).unwrap())
+    });
+}
+
+fn bench_segment_wire(c: &mut Criterion) {
+    let mut seg = Segment::new(FlowId(1), Direction::DataPath);
+    seg.seq = SeqNum(5000);
+    seg.len = 8948;
+    seg.flags.ack = true;
+    seg.data_tdn = Some(TdnId(1));
+    c.bench_function("segment_to_wire_jumbo", |b| {
+        b.iter(|| black_box(seg.to_wire(1, 2, 3, 4)))
+    });
+    let bytes = seg.to_wire(1, 2, 3, 4);
+    c.bench_function("segment_from_wire_jumbo", |b| {
+        b.iter(|| Segment::from_wire(black_box(&bytes), FlowId(1), Direction::DataPath).unwrap())
+    });
+}
+
+criterion_group!(codec, bench_tcp_header, bench_icmp, bench_segment_wire);
+criterion_main!(codec);

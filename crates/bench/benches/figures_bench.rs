@@ -1,0 +1,34 @@
+//! One bench per table/figure: miniature versions of every experiment in
+//! the harness, so regressions in any reproduction path show up in CI
+//! timing and the experiments stay runnable end to end.
+
+use bench::experiments::*;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use simcore::SimTime;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let h = SimTime::from_millis(10);
+    let warm = SimTime::from_millis(2);
+
+    g.bench_function("table1", |b| {
+        b.iter(|| black_box(table1::run(h, warm).rows.len()))
+    });
+    g.bench_function("fig2", |b| b.iter(|| black_box(seqgraph::fig2(h).series.len())));
+    g.bench_function("fig7a", |b| b.iter(|| black_box(seqgraph::fig7a(h).series.len())));
+    g.bench_function("fig7b", |b| b.iter(|| black_box(voqfig::fig7b(h).variants.len())));
+    g.bench_function("fig8a", |b| b.iter(|| black_box(seqgraph::fig8a(h).series.len())));
+    g.bench_function("fig8b", |b| b.iter(|| black_box(voqfig::fig8b(h).variants.len())));
+    g.bench_function("fig9", |b| b.iter(|| black_box(seqgraph::fig9(h).series.len())));
+    g.bench_function("fig10", |b| b.iter(|| black_box(fig10::run(h).marked.len())));
+    g.bench_function("fig11", |b| b.iter(|| black_box(fig11::run(h).gain())));
+    g.bench_function("fig13", |b| b.iter(|| black_box(voqfig::fig13(h).variants.len())));
+    g.bench_function("fig14a", |b| b.iter(|| black_box(voqfig::fig14a(h).variants.len())));
+    g.bench_function("fig14b", |b| b.iter(|| black_box(voqfig::fig14b(h).variants.len())));
+    g.bench_function("notify_table", |b| b.iter(|| black_box(notify::run(2_000, 16).rows.len())));
+    g.finish();
+}
+
+criterion_group!(figures, bench_figures);
+criterion_main!(figures);

@@ -1,0 +1,113 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [experiment...] [--horizon-ms N]
+//!
+//! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
+//!              fig14a fig14b table1 notify ablation regime notify-sweep
+//!              all   (everything above)
+//!              quick (table1 + fig10 + fig11 at a reduced horizon)
+//! ```
+
+use bench::experiments::*;
+use simcore::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut horizon = default_horizon();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--horizon-ms" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--horizon-ms needs a number");
+                horizon = SimTime::from_millis(v);
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    if wanted.iter().any(|w| w == "quick") {
+        horizon = SimTime::from_millis(25);
+        wanted = vec!["table1".into(), "fig10".into(), "fig11".into()];
+    }
+    if wanted.iter().any(|w| w == "all") {
+        wanted = [
+            "table1", "fig2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
+            "fig13", "fig14a", "fig14b", "notify", "ablation", "regime", "notify-sweep",
+            "shortflows", "fairness", "multirack",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let warmup = default_warmup();
+    println!(
+        "# TDTCP reproduction figures (horizon {} ms, warmup {} ms, 16 flows)",
+        horizon.as_nanos() / 1_000_000,
+        warmup.as_nanos() / 1_000_000
+    );
+
+    for w in &wanted {
+        let t0 = std::time::Instant::now();
+        match w.as_str() {
+            "table1" => table1::run(horizon, warmup).print(),
+            "fig2" => seqgraph::fig2(horizon).print(),
+            "fig7a" => seqgraph::fig7a(horizon).print(),
+            "fig8a" => seqgraph::fig8a(horizon).print(),
+            "fig9" => seqgraph::fig9(horizon).print(),
+            "fig7b" => voqfig::fig7b(horizon).print(),
+            "fig8b" => voqfig::fig8b(horizon).print(),
+            "fig13" => voqfig::fig13(horizon).print(),
+            "fig14a" => voqfig::fig14a(horizon).print(),
+            "fig14b" => voqfig::fig14b(horizon).print(),
+            "fig10" => fig10::run(horizon).print(),
+            "fig11" => fig11::run(horizon).print(),
+            "notify" => notify::run(50_000, 16).print(),
+            "ablation" => ablation::print_ablation(&ablation::design_ablation(horizon)),
+            "regime" => {
+                // Day lengths from ~0.3x RTT to ~100x RTT (packet RTT 100us).
+                let pts = ablation::regime_sweep(&[30, 60, 180, 600, 2_000, 10_000], 20);
+                ablation::print_regime(&pts);
+            }
+            "notify-sweep" => {
+                let pts = ablation::notify_sweep(&[0, 5, 20, 60, 120], horizon);
+                ablation::print_notify_sweep(&pts);
+            }
+            "shortflows" => {
+                use bench::Variant;
+                let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]
+                    .into_iter()
+                    .map(|v| {
+                        shortflows::short_flows(
+                            v,
+                            64,
+                            100_000,
+                            simcore::SimDuration::from_micros(300),
+                            4,
+                            horizon,
+                        )
+                    })
+                    .collect();
+                shortflows::print_short_flows(&rows);
+            }
+            "multirack" => multirack::run(SimTime::from_millis(15)).print(),
+            "fairness" => {
+                use bench::Variant;
+                let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]
+                    .into_iter()
+                    .map(|v| shortflows::fairness(v, horizon))
+                    .collect();
+                shortflows::print_fairness(&rows);
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        eprintln!("[{w} took {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

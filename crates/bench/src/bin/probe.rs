@@ -1,0 +1,160 @@
+//! Diagnostic probe: per-day goodput and drop behaviour for one variant.
+//! Not part of the evaluation harness; used to calibrate dynamics.
+
+use bench::Variant;
+use rdcn::{Emulator, NetConfig};
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{Config, Connection, FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+
+fn main() {
+    let variant = std::env::args().nth(1).unwrap_or_else(|| "tdtcp".into());
+    let flows: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let mut cfg = NetConfig::paper_baseline();
+    if let Some(var) = Variant::parse(&variant) {
+        var.apply_net_config(&mut cfg);
+    }
+    let cc = CcConfig::default();
+    let v = variant.clone();
+    let factory: rdcn::EndpointFactory = if let Some(var) =
+        Variant::parse(&variant).filter(|_| variant != "tdtcp" && variant != "cubic")
+    {
+        var.factory(u64::MAX)
+    } else {
+        Box::new(move |i| {
+        if v == "tdtcp" {
+            let c = TdtcpConfig::default();
+            let template = Cubic::new(cc);
+            (
+                Box::new(TdtcpConnection::connect(
+                    FlowId(i as u32),
+                    c.clone(),
+                    &template,
+                    SimTime::ZERO,
+                )) as Box<dyn Transport>,
+                Box::new(TdtcpConnection::listen(FlowId(i as u32), c, &template))
+                    as Box<dyn Transport>,
+            )
+        } else {
+            let c = Config::default();
+            (
+                Box::new(Connection::connect(
+                    FlowId(i as u32),
+                    c.clone(),
+                    Box::new(Cubic::new(cc)),
+                    SimTime::ZERO,
+                )) as Box<dyn Transport>,
+                Box::new(Connection::listen(FlowId(i as u32), c, Box::new(Cubic::new(cc))))
+                    as Box<dyn Transport>,
+            )
+        }
+    })
+    };
+    let emu = Emulator::new(cfg.clone(), flows, factory);
+    let horizon = SimTime::from_millis(
+        std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(25),
+    );
+    let res = emu.run(horizon);
+
+    println!("variant={variant} flows={flows}");
+    println!(
+        "total_acked={} drops_ab={} drops_ba={} events={}",
+        res.total_acked(),
+        res.drops_ab,
+        res.drops_ba,
+        res.events
+    );
+    let s: tcp::ConnStats = res.sender_stats[0];
+    println!("flow0 sender: {s:?}");
+    // Per-day delivered bytes from the sequence series.
+    let slot = cfg.schedule.slot_len();
+    println!("day tdn acked_delta");
+    for day in 100..107 {
+        let t0 = cfg.schedule.day_start(day);
+        let t1 = cfg.schedule.day_start(day + 1);
+        let a0 = res.seq_series.value_at(t0, 0.0);
+        let a1 = res.seq_series.value_at(t1, 0.0);
+        println!(
+            "{day} {:?} {:.0}  (rate {:.2} Gbps)",
+            cfg.schedule.day_tdn(day),
+            a1 - a0,
+            (a1 - a0) * 8.0 / slot.as_nanos() as f64
+        );
+    }
+    // Fine-grained profile across one optical slot (day 104: 20800-21000us).
+    println!("optical day profile (10us bins, Gbps):");
+    let base_us = 104 * 200;
+    for k in 0..20 {
+        let t0 = SimTime::from_micros(base_us + k * 10);
+        let t1 = SimTime::from_micros(base_us + (k + 1) * 10);
+        let d = res.seq_series.value_at(t1, 0.0) - res.seq_series.value_at(t0, 0.0);
+        let v = res.voq_ab.value_at(t0, 0.0);
+        println!("  +{:3}us: {:6.1} Gbps  voq={v:.0}", k * 10, d * 8.0 / 10_000.0);
+    }
+
+    // Phase-resolved aggregate rates over the steady-state window.
+    let mut opt_bytes = 0.0;
+    let mut pkt_bytes = 0.0;
+    let (mut opt_days, mut pkt_days) = (0u64, 0u64);
+    let last_day = horizon.as_nanos() / cfg.schedule.slot_len().as_nanos();
+    for day in 50..last_day - 1 {
+        let a0 = res.seq_series.value_at(cfg.schedule.day_start(day), 0.0);
+        let a1 = res.seq_series.value_at(cfg.schedule.day_start(day + 1), 0.0);
+        if cfg.schedule.day_tdn(day) == wire::TdnId(1) {
+            opt_bytes += a1 - a0;
+            opt_days += 1;
+        } else {
+            pkt_bytes += a1 - a0;
+            pkt_days += 1;
+        }
+    }
+    println!(
+        "steady-state: packet-day avg {:.2} Gbps, optical-day avg {:.2} Gbps",
+        pkt_bytes * 8.0 / (pkt_days as f64 * slot.as_nanos() as f64),
+        opt_bytes * 8.0 / (opt_days as f64 * slot.as_nanos() as f64)
+    );
+    // Mean VOQ occupancy (steady state).
+    let pts = res.voq_ab.points();
+    let from = SimTime::from_millis(10);
+    let (sum, n) = pts
+        .iter()
+        .filter(|(tt, _)| *tt >= from)
+        .fold((0.0, 0u32), |(s2, n2), (_, v)| (s2 + v, n2 + 1));
+    println!("mean VOQ occupancy: {:.2}", sum / n.max(1) as f64);
+
+    // Retransmissions by day type (which phase suffers losses).
+    let (mut retx_opt, mut retx_pkt, mut sp_opt, mut sp_pkt) = (0u64, 0u64, 0u64, 0u64);
+    for r in res.day_records.iter().filter(|r| r.day >= 50) {
+        if r.tdn == wire::TdnId(1) {
+            retx_opt += r.retransmits;
+            sp_opt += r.spurious_retransmits;
+        } else {
+            retx_pkt += r.retransmits;
+            sp_pkt += r.spurious_retransmits;
+        }
+    }
+    println!("retx per day: optical {:.1} (spurious {:.1}), packet {:.1} (spurious {:.1})",
+        retx_opt as f64 / (res.day_records.len() as f64 / 7.0),
+        sp_opt as f64 / (res.day_records.len() as f64 / 7.0),
+        retx_pkt as f64 / (res.day_records.len() as f64 * 6.0 / 7.0),
+        sp_pkt as f64 / (res.day_records.len() as f64 * 6.0 / 7.0));
+
+    // Aggregate retransmit / rto counts.
+    let rtos: u64 = res.sender_stats.iter().map(|s| s.rtos).sum();
+    let retx: u64 = res.sender_stats.iter().map(|s| s.retransmits).sum();
+    let recov: u64 = res.sender_stats.iter().map(|s| s.fast_recoveries).sum();
+    let tlps: u64 = res.sender_stats.iter().map(|s| s.tlps).sum();
+    println!("rtos={rtos} retransmits={retx} fast_recoveries={recov} tlps={tlps}");
+    println!("final cwnds (first 4 flows): {:?}", &res.final_cwnds[..4.min(res.final_cwnds.len())]);
+    let agg: u64 = res.final_cwnds.iter().flat_map(|v| v.iter()).map(|&c| c as u64).sum();
+    println!("aggregate cwnd across flows/paths: {} ({} MSS)", agg, agg / 8948);
+    let ev: u64 = res.sender_stats.iter().map(|s| s.reorder_events).sum();
+    let mk: u64 = res.sender_stats.iter().map(|s| s.reorder_marked_pkts).sum();
+    let sk: u64 = res.sender_stats.iter().map(|s| s.relaxed_skips).sum();
+    let sp: u64 = res.receiver_stats.iter().map(|s| s.spurious_retransmits).sum();
+    println!("reorder_events={ev} marked={mk} relaxed_skips={sk} spurious_at_rx={sp}");
+}

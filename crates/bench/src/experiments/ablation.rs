@@ -1,0 +1,204 @@
+//! Ablations of TDTCP's design decisions (DESIGN.md §4):
+//!
+//! * per-TDN state off → behaves like single-path CUBIC (§3.1),
+//! * relaxed reordering detection off → spurious retransmissions at every
+//!   transition (§3.4),
+//! * pessimistic RTO off → premature timeouts (§4.4),
+//! * pacing off → initial-burst drops at TDN switches (§5.2),
+//! * day-length sweep → the §3.5 operating-regime claim (TDTCP helps when
+//!   days last 1–100× RTT, not at the extremes),
+//! * notification-latency sweep → generalizes Fig. 11.
+
+use crate::variants::Variant;
+use crate::workload::Workload;
+use rdcn::{Emulator, NetConfig, Schedule};
+use simcore::{SimDuration, SimTime};
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+use wire::TdnId;
+
+/// Result of one ablation run.
+#[derive(Debug)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// Acknowledged bytes.
+    pub acked: u64,
+    /// Ratio to the full TDTCP configuration.
+    pub vs_full: f64,
+    /// Spurious retransmissions observed at receivers.
+    pub spurious: u64,
+    /// RTO events.
+    pub rtos: u64,
+}
+
+/// Run a TDTCP configuration over the baseline network.
+fn run_tdtcp_cfg(label: &str, mutate: impl Fn(&mut TdtcpConfig), horizon: SimTime) -> (String, u64, u64, u64) {
+    let mut net = NetConfig::paper_baseline();
+    Variant::Tdtcp.apply_net_config(&mut net);
+    let cc = CcConfig::default();
+    let factory: rdcn::EndpointFactory = Box::new(move |i| {
+        let mut cfg = TdtcpConfig::default();
+        mutate(&mut cfg);
+        let template = Cubic::new(cc);
+        (
+            Box::new(TdtcpConnection::connect(
+                FlowId(i as u32),
+                cfg.clone(),
+                &template,
+                SimTime::ZERO,
+            )) as Box<dyn Transport>,
+            Box::new(TdtcpConnection::listen(FlowId(i as u32), cfg, &template))
+                as Box<dyn Transport>,
+        )
+    });
+    let res = Emulator::new(net, 16, factory).run(horizon);
+    let spurious: u64 = res
+        .receiver_stats
+        .iter()
+        .map(|s| s.spurious_retransmits)
+        .sum();
+    let rtos: u64 = res.sender_stats.iter().map(|s| s.rtos).sum();
+    (label.to_string(), res.total_acked(), spurious, rtos)
+}
+
+/// The design-decision ablation table.
+pub fn design_ablation(horizon: SimTime) -> Vec<AblationRow> {
+    let configs: Vec<(&str, Box<dyn Fn(&mut TdtcpConfig)>)> = vec![
+        ("full tdtcp", Box::new(|_c: &mut TdtcpConfig| {})),
+        (
+            "no per-TDN state",
+            Box::new(|c: &mut TdtcpConfig| c.per_tdn_state = false),
+        ),
+        (
+            "no relaxed reordering",
+            Box::new(|c: &mut TdtcpConfig| c.relaxed_reordering = false),
+        ),
+        (
+            "no pessimistic RTO",
+            Box::new(|c: &mut TdtcpConfig| c.pessimistic_rto = false),
+        ),
+        (
+            "no pacing",
+            Box::new(|c: &mut TdtcpConfig| c.tcp.pacing = false),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut full_acked = 0u64;
+    for (label, mutate) in configs {
+        let (label, acked, spurious, rtos) = run_tdtcp_cfg(label, mutate, horizon);
+        if label == "full tdtcp" {
+            full_acked = acked;
+        }
+        rows.push(AblationRow {
+            vs_full: acked as f64 / full_acked.max(1) as f64,
+            label,
+            acked,
+            spurious,
+            rtos,
+        });
+    }
+    rows
+}
+
+/// Print an ablation table.
+pub fn print_ablation(rows: &[AblationRow]) {
+    println!("\n== TDTCP design ablations ==");
+    println!(
+        "{:<24} {:>14} {:>9} {:>9} {:>6}",
+        "config", "acked bytes", "vs full", "spurious", "rtos"
+    );
+    for r in rows {
+        println!(
+            "{:<24} {:>14} {:>8.0}% {:>9} {:>6}",
+            r.label,
+            r.acked,
+            r.vs_full * 100.0,
+            r.spurious,
+            r.rtos
+        );
+    }
+}
+
+/// One point of the §3.5 operating-regime sweep.
+#[derive(Debug)]
+pub struct RegimePoint {
+    /// Day length in microseconds.
+    pub day_us: u64,
+    /// Day length expressed in packet-network RTTs.
+    pub day_rtts: f64,
+    /// TDTCP goodput / CUBIC goodput.
+    pub tdtcp_gain: f64,
+}
+
+/// Sweep the day length at a fixed 9:1 duty cycle, comparing TDTCP and
+/// CUBIC. The §3.5 claim: the TDTCP advantage lives roughly where days
+/// are 1–100× the RTT and fades at the extremes.
+pub fn regime_sweep(day_lens_us: &[u64], weeks: u64) -> Vec<RegimePoint> {
+    let mut out = Vec::new();
+    for &day_us in day_lens_us {
+        let night_us = (day_us / 9).max(1);
+        let mut net = NetConfig::paper_baseline();
+        net.schedule = Schedule {
+            day_len: SimDuration::from_micros(day_us),
+            night_len: SimDuration::from_micros(night_us),
+            days: vec![
+                TdnId(0),
+                TdnId(0),
+                TdnId(0),
+                TdnId(0),
+                TdnId(0),
+                TdnId(0),
+                TdnId(1),
+            ],
+        };
+        let horizon = SimTime::ZERO + net.schedule.week_len() * weeks;
+        let run = |v: Variant| Workload::bulk(v, horizon).run(&net).total_acked() as f64;
+        let tdtcp = run(Variant::Tdtcp);
+        let cubic = run(Variant::Cubic);
+        out.push(RegimePoint {
+            day_us,
+            day_rtts: day_us as f64 / 100.0,
+            tdtcp_gain: tdtcp / cubic,
+        });
+    }
+    out
+}
+
+/// Print the regime sweep.
+pub fn print_regime(points: &[RegimePoint]) {
+    println!("\n== §3.5 operating-regime sweep (day length vs TDTCP gain) ==");
+    println!("{:>10} {:>10} {:>12}", "day_us", "day/RTT", "tdtcp/cubic");
+    for p in points {
+        println!(
+            "{:>10} {:>10.1} {:>11.2}x",
+            p.day_us, p.day_rtts, p.tdtcp_gain
+        );
+    }
+}
+
+/// Notification-latency sensitivity: TDTCP goodput as extra delivery
+/// delay grows toward a whole day length.
+pub fn notify_sweep(extra_us: &[u64], horizon: SimTime) -> Vec<(u64, u64)> {
+    extra_us
+        .iter()
+        .map(|&us| {
+            let mut net = NetConfig::paper_baseline();
+            net.notify.extra_delay = SimDuration::from_micros(us);
+            let acked = Workload::bulk(Variant::Tdtcp, horizon)
+                .run(&net)
+                .total_acked();
+            (us, acked)
+        })
+        .collect()
+}
+
+/// Print the notification sweep.
+pub fn print_notify_sweep(points: &[(u64, u64)]) {
+    println!("\n== notification latency sweep (TDTCP) ==");
+    println!("{:>12} {:>14}", "extra_us", "acked bytes");
+    for (us, acked) in points {
+        println!("{us:>12} {acked:>14}");
+    }
+}

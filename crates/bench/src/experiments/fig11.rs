@@ -1,0 +1,56 @@
+//! Fig. 11: TDTCP throughput with and without the §5.4 notification
+//! optimizations (the paper measures the combined optimizations are worth
+//! 12.7% of throughput).
+
+use crate::variants::Variant;
+use crate::workload::Workload;
+use rdcn::{NetConfig, NotifyConfig};
+use simcore::SimTime;
+
+/// The comparison result.
+#[derive(Debug)]
+pub struct Fig11 {
+    /// Acknowledged bytes with all optimizations on.
+    pub optimized: u64,
+    /// Acknowledged bytes with all optimizations off.
+    pub unoptimized: u64,
+}
+
+impl Fig11 {
+    /// Relative throughput gain from the optimizations.
+    pub fn gain(&self) -> f64 {
+        self.optimized as f64 / self.unoptimized as f64 - 1.0
+    }
+
+    /// Print the comparison.
+    pub fn print(&self) {
+        println!("\n== fig11: TDTCP with/without notification optimizations ==");
+        println!("optimized   : {:>14} bytes", self.optimized);
+        println!("unoptimized : {:>14} bytes", self.unoptimized);
+        println!(
+            "gain        : {:>13.1}%  (paper: +12.7%)",
+            self.gain() * 100.0
+        );
+    }
+}
+
+/// Run both notification configurations, averaging three seeds (the
+/// notification latencies are the stochastic element under test).
+pub fn run(horizon: SimTime) -> Fig11 {
+    let run_with = |notify: NotifyConfig| {
+        let mut total = 0u64;
+        for seed in [1, 2, 3] {
+            let mut net = NetConfig::paper_baseline();
+            net.notify = notify;
+            net.seed = seed;
+            let mut wl = Workload::bulk(Variant::Tdtcp, horizon);
+            wl.seed = seed;
+            total += wl.run(&net).total_acked();
+        }
+        total / 3
+    };
+    Fig11 {
+        optimized: run_with(NotifyConfig::optimized()),
+        unoptimized: run_with(NotifyConfig::unoptimized()),
+    }
+}

@@ -1,0 +1,25 @@
+//! One module per table/figure of the paper's evaluation. Each returns a
+//! structured result (so integration tests can assert on shapes) and
+//! knows how to print itself in the row/series form the paper reports.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod multirack;
+pub mod notify;
+pub mod seqgraph;
+pub mod shortflows;
+pub mod table1;
+pub mod voqfig;
+
+use simcore::SimTime;
+
+/// Standard full-quality horizon for figure-grade runs.
+pub fn default_horizon() -> SimTime {
+    SimTime::from_millis(60)
+}
+
+/// Warmup excluded from steady-state measurements.
+pub fn default_warmup() -> SimTime {
+    SimTime::from_millis(10)
+}

@@ -1,0 +1,83 @@
+//! Extension: the full 8-rack rotor fabric (§2.1/Fig. 1), beyond the
+//! paper's pinned two-rack evaluation. One flow per ring neighbour pair;
+//! the demand-oblivious schedule gives every pair one direct circuit day
+//! per week while the EPS carries the rest.
+
+use rdcn::{MultiRackConfig, MultiRackEmulator, PairFlow};
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{Config, Connection, FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+
+/// Per-variant aggregate results on the 8-rack fabric.
+#[derive(Debug)]
+pub struct MultiRack {
+    /// `(label, total acked bytes, drops)` per variant.
+    pub rows: Vec<(String, u64, u64)>,
+    /// EPS-only ceiling for the same horizon, bytes.
+    pub eps_ceiling: f64,
+}
+
+/// Run TDTCP and CUBIC over the 8-rack rotor with one flow per ring pair.
+pub fn run(horizon: SimTime) -> MultiRack {
+    let cfg = MultiRackConfig::paper_8rack();
+    let flows: Vec<PairFlow> = (0..8)
+        .map(|r| PairFlow {
+            src: r,
+            dst: (r + 1) % 8,
+        })
+        .collect();
+    let cc = CcConfig::default();
+    let mut rows = Vec::new();
+    for label in ["tdtcp", "cubic"] {
+        let emu = MultiRackEmulator::new(cfg.clone(), flows.clone(), |i, _| {
+            if label == "tdtcp" {
+                let c = TdtcpConfig::default();
+                let template = Cubic::new(cc);
+                (
+                    Box::new(TdtcpConnection::connect(
+                        FlowId(i as u32),
+                        c.clone(),
+                        &template,
+                        SimTime::ZERO,
+                    )) as Box<dyn Transport>,
+                    Box::new(TdtcpConnection::listen(FlowId(i as u32), c, &template))
+                        as Box<dyn Transport>,
+                )
+            } else {
+                let c = Config::default();
+                (
+                    Box::new(Connection::connect(
+                        FlowId(i as u32),
+                        c.clone(),
+                        Box::new(Cubic::new(cc)),
+                        SimTime::ZERO,
+                    )) as Box<dyn Transport>,
+                    Box::new(Connection::listen(FlowId(i as u32), c, Box::new(Cubic::new(cc))))
+                        as Box<dyn Transport>,
+                )
+            }
+        });
+        let res = emu.run(horizon);
+        rows.push((label.to_string(), res.total_acked(), res.drops));
+    }
+    MultiRack {
+        rows,
+        eps_ceiling: 8.0 * 10e9 / 8.0 * horizon.as_secs_f64(),
+    }
+}
+
+impl MultiRack {
+    /// Print the comparison.
+    pub fn print(&self) {
+        println!("\n== extension: 8-rack rotor fabric (1 flow per ring pair) ==");
+        println!("{:>8} {:>16} {:>10}", "variant", "acked bytes", "drops");
+        for (l, a, d) in &self.rows {
+            println!("{l:>8} {a:>16} {d:>10}");
+        }
+        println!(
+            "EPS-only ceiling: {:.0} bytes — circuits must lift totals above it",
+            self.eps_ceiling
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Extension experiments beyond the paper's evaluation:
+//!
+//! * **Short-flow completion times** — §5.1 argues short flows "are
+//!   unlikely to benefit from TDTCP" and are left out of scope; this
+//!   experiment checks the flip side, that TDTCP does not *hurt* them:
+//!   Poisson arrivals of RPC-sized transfers complete in comparable time
+//!   under TDTCP and CUBIC, with long-lived background flows running.
+//! * **Fairness** — §3.5 expects per-TDN CCAs to keep their single-path
+//!   fairness; measured as Jain's index across 16 flows, half of which
+//!   start late (convergence test).
+
+use crate::variants::Variant;
+use rdcn::{Emulator, FlowSpec, NetConfig};
+use simcore::{Cdf, DetRng, SimDuration, SimTime};
+use tcp::Transport;
+
+/// Result of the short-flow experiment for one variant.
+#[derive(Debug)]
+pub struct ShortFlowResult {
+    /// Variant label.
+    pub label: String,
+    /// Completed short flows (of those started).
+    pub completed: usize,
+    /// Started short flows.
+    pub started: usize,
+    /// FCT percentiles in microseconds (p50, p90, p99).
+    pub fct_us: (f64, f64, f64),
+}
+
+/// Run `n_short` short flows of `short_bytes` each, Poisson arrivals with
+/// `mean_gap`, over `background` long-lived flows of the same variant.
+pub fn short_flows(
+    variant: Variant,
+    n_short: usize,
+    short_bytes: u64,
+    mean_gap: SimDuration,
+    background: usize,
+    horizon: SimTime,
+) -> ShortFlowResult {
+    let mut net = NetConfig::paper_baseline();
+    variant.apply_net_config(&mut net);
+    // Poisson arrivals.
+    let mut rng = DetRng::new(net.seed ^ 0x5f5f);
+    let mut specs = Vec::new();
+    for _ in 0..background {
+        specs.push(FlowSpec {
+            start: SimTime::ZERO,
+        });
+    }
+    let mut t = SimTime::from_millis(2); // let background flows settle
+    for _ in 0..n_short {
+        t += SimDuration::from_nanos(rng.exponential(mean_gap.as_nanos() as f64) as u64);
+        specs.push(FlowSpec { start: t });
+    }
+    let specs_clone = specs.clone();
+    let factory: rdcn::emulator::TimedEndpointFactory = Box::new(move |i, now| {
+        let bytes = if i < background { u64::MAX } else { short_bytes };
+        make_endpoints(variant, i, bytes, now)
+    });
+    let emu = Emulator::new_staggered(net, specs, factory);
+    let res = emu.run(horizon);
+
+    let mut fct = Cdf::new();
+    let mut completed = 0;
+    let mut started = 0;
+    for i in background..background + n_short {
+        if specs_clone[i].start >= horizon {
+            continue;
+        }
+        started += 1;
+        if let Some(done) = res.completions[i] {
+            completed += 1;
+            fct.add(done.saturating_since(specs_clone[i].start).as_micros() as f64);
+        }
+    }
+    ShortFlowResult {
+        label: variant.label().to_string(),
+        completed,
+        started,
+        fct_us: (
+            fct.percentile(50.0).unwrap_or(f64::NAN),
+            fct.percentile(90.0).unwrap_or(f64::NAN),
+            fct.percentile(99.0).unwrap_or(f64::NAN),
+        ),
+    }
+}
+
+/// Build one flow's endpoints at time `now` — like `Variant::factory` but
+/// start-time aware (connections initiate their SYN at `now`).
+fn make_endpoints(
+    variant: Variant,
+    i: usize,
+    bytes: u64,
+    now: SimTime,
+) -> (Box<dyn Transport>, Box<dyn Transport>) {
+    use tcp::cc::{CcConfig, Cubic};
+    use tcp::FlowId;
+    let cc = CcConfig::default();
+    match variant {
+        Variant::Tdtcp => {
+            let mut cfg = tdtcp::TdtcpConfig::default();
+            cfg.tcp.bytes_to_send = bytes;
+            let template = Cubic::new(cc);
+            (
+                Box::new(tdtcp::TdtcpConnection::connect(
+                    FlowId(i as u32),
+                    cfg.clone(),
+                    &template,
+                    now,
+                )),
+                Box::new(tdtcp::TdtcpConnection::listen(FlowId(i as u32), cfg, &template)),
+            )
+        }
+        _ => {
+            let cfg = tcp::Config {
+                bytes_to_send: bytes,
+                ..tcp::Config::default()
+            };
+            (
+                Box::new(tcp::Connection::connect(
+                    FlowId(i as u32),
+                    cfg.clone(),
+                    Box::new(Cubic::new(cc)),
+                    now,
+                )),
+                Box::new(tcp::Connection::listen(
+                    FlowId(i as u32),
+                    cfg,
+                    Box::new(Cubic::new(cc)),
+                )),
+            )
+        }
+    }
+}
+
+/// Print the short-flow comparison.
+pub fn print_short_flows(rows: &[ShortFlowResult]) {
+    println!("\n== extension: short-flow completion times (100 kB RPCs, Poisson arrivals) ==");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "variant", "started", "completed", "fct_p50us", "fct_p90us", "fct_p99us"
+    );
+    for r in rows {
+        println!(
+            "{:>8} {:>10} {:>10} {:>10.0} {:>10.0} {:>10.0}",
+            r.label, r.started, r.completed, r.fct_us.0, r.fct_us.1, r.fct_us.2
+        );
+    }
+    println!("paper §5.1: TDTCP is not expected to change short-flow completion times");
+}
+
+/// Jain's fairness index over per-flow delivered bytes.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().sum();
+    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sumsq)
+}
+
+/// Fairness result for one variant.
+#[derive(Debug)]
+pub struct FairnessResult {
+    /// Variant label.
+    pub label: String,
+    /// Jain index over all 16 flows' steady-state throughput.
+    pub jain: f64,
+    /// Mean early-starter vs late-starter throughput ratio.
+    pub early_late_ratio: f64,
+}
+
+/// 16 flows, half starting at t=0 and half at `late_start`; fairness over
+/// the window after `measure_from`.
+pub fn fairness(variant: Variant, horizon: SimTime) -> FairnessResult {
+    let mut net = NetConfig::paper_baseline();
+    variant.apply_net_config(&mut net);
+    let late_start = SimTime::from_millis(8);
+    let specs: Vec<FlowSpec> = (0..16)
+        .map(|i| FlowSpec {
+            start: if i < 8 { SimTime::ZERO } else { late_start },
+        })
+        .collect();
+    let factory: rdcn::emulator::TimedEndpointFactory =
+        Box::new(move |i, now| make_endpoints(variant, i, u64::MAX, now));
+    let emu = Emulator::new_staggered(net, specs, factory);
+    let res = emu.run(horizon);
+    // Throughput judged over the whole run minus the late start offset
+    // for late flows (delivered bytes / active time).
+    let rates: Vec<f64> = res
+        .receiver_stats
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let active = if i < 8 {
+                horizon.as_secs_f64()
+            } else {
+                horizon.saturating_since(late_start).as_secs_f64()
+            };
+            s.bytes_delivered as f64 / active
+        })
+        .collect();
+    let early: f64 = rates[..8].iter().sum::<f64>() / 8.0;
+    let late: f64 = rates[8..].iter().sum::<f64>() / 8.0;
+    FairnessResult {
+        label: variant.label().to_string(),
+        jain: jain_index(&rates),
+        early_late_ratio: early / late,
+    }
+}
+
+/// Print the fairness comparison.
+pub fn print_fairness(rows: &[FairnessResult]) {
+    println!("\n== extension: fairness (16 flows, 8 starting 8 ms late) ==");
+    println!("{:>8} {:>8} {:>14}", "variant", "jain", "early/late");
+    for r in rows {
+        println!("{:>8} {:>8.3} {:>13.2}x", r.label, r.jain, r.early_late_ratio);
+    }
+    println!("§3.5: per-TDN CCAs should keep their single-path fairness properties");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_properties() {
+        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging everything: index -> 1/n.
+        let skew = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0, "degenerate all-zero");
+        let mid = jain_index(&[2.0, 1.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! The headline throughput table (§1, §5.2): steady-state goodput of
+//! every variant on the baseline RDCN, relative to CUBIC. The paper
+//! reports TDTCP +24% over CUBIC/DCTCP, +41% over MPTCP, parity with
+//! retcpdyn.
+
+use crate::variants::{Variant, ALL_VARIANTS};
+use crate::workload::{steady_goodput_gbps, Workload};
+use rdcn::{analytic, NetConfig};
+use simcore::SimTime;
+
+/// One table row.
+#[derive(Debug)]
+pub struct Row {
+    /// Variant label.
+    pub label: String,
+    /// Steady-state goodput, Gbps.
+    pub gbps: f64,
+    /// Ratio to CUBIC's goodput.
+    pub vs_cubic: f64,
+    /// Fraction of the analytic optimal achieved.
+    pub of_optimal: f64,
+}
+
+/// The headline table.
+#[derive(Debug)]
+pub struct Table1 {
+    /// Rows in descending goodput order.
+    pub rows: Vec<Row>,
+    /// Analytic optimal rate, Gbps.
+    pub optimal_gbps: f64,
+    /// Packet-only rate, Gbps.
+    pub packet_only_gbps: f64,
+}
+
+impl Table1 {
+    /// Look up one variant's row.
+    pub fn get(&self, label: &str) -> Option<&Row> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+
+    /// Print the table.
+    pub fn print(&self) {
+        println!("\n== table 1: steady-state goodput (hybrid RDCN, 16 flows) ==");
+        println!(
+            "{:>10} {:>10} {:>10} {:>11}",
+            "variant", "Gbps", "vs cubic", "of optimal"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>10} {:>10.2} {:>9.0}% {:>10.0}%",
+                r.label,
+                r.gbps,
+                r.vs_cubic * 100.0,
+                r.of_optimal * 100.0
+            );
+        }
+        println!(
+            "{:>10} {:>10.2}\n{:>10} {:>10.2}",
+            "optimal", self.optimal_gbps, "pkt-only", self.packet_only_gbps
+        );
+        println!("paper: tdtcp +24% vs cubic/dctcp, +41% vs mptcp, ~= retcpdyn");
+    }
+}
+
+/// Run every variant and build the table.
+pub fn run(horizon: SimTime, warmup: SimTime) -> Table1 {
+    let net = NetConfig::paper_baseline();
+    let mut measured: Vec<(String, f64)> = ALL_VARIANTS
+        .iter()
+        .map(|&v| {
+            let res = Workload::bulk(v, horizon).run(&net);
+            (
+                v.label().to_string(),
+                steady_goodput_gbps(&res, warmup, horizon) / 1.0,
+            )
+        })
+        .collect();
+    measured.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let cubic = measured
+        .iter()
+        .find(|(l, _)| l == Variant::Cubic.label())
+        .map(|(_, g)| *g)
+        .expect("cubic measured");
+    let optimal = analytic::optimal_rate_bps(&net) / 1e9;
+    let rows = measured
+        .into_iter()
+        .map(|(label, g)| Row {
+            vs_cubic: g / cubic,
+            of_optimal: g / optimal,
+            label,
+            gbps: g,
+        })
+        .collect();
+    Table1 {
+        rows,
+        optimal_gbps: optimal,
+        packet_only_gbps: 10.0,
+    }
+}

@@ -1,0 +1,17 @@
+//! # bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation over the
+//! emulated RDCN: variant factories ([`variants`]), the flowgrind-style
+//! workload generator ([`workload`]), and one module per experiment
+//! ([`experiments`]). The `figures` binary drives them from the command
+//! line; Criterion benches measure component performance (codecs, event
+//! queue, end-to-end simulation rate, notification path).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod variants;
+pub mod workload;
+
+pub use variants::{Variant, ALL_VARIANTS};
+pub use workload::Workload;

@@ -1,0 +1,28 @@
+//! # tdtcp — Time-division TCP (SIGCOMM 2022)
+//!
+//! The paper's primary contribution: a TCP variant for reconfigurable
+//! data center networks that multiplexes a connection across independent
+//! per-path congestion states over *time*, the way MPTCP multiplexes
+//! subflows over space — except only one "subflow" is ever active, and
+//! all of them share a single sequence number space.
+//!
+//! * [`TdnState`] — the duplicated per-TDN state sets of §3.1;
+//! * [`TdtcpConnection`] — the connection: TD_CAPABLE negotiation (§4.2),
+//!   out-of-band TDN-change notifications (§3.2), relaxed cross-TDN
+//!   reordering detection (§3.4), per-TDN RTT estimation with pessimistic
+//!   RTO synthesis (§4.4), and the §4.3 current/all/any/specific-TDN
+//!   accounting semantics;
+//! * [`TdtcpConfig`] — configuration, including ablation switches for
+//!   every design decision (per-TDN state, relaxed detection, pessimistic
+//!   RTO) so the benches can quantify each.
+//!
+//! The engine implements [`tcp::Transport`], so the `rdcn` emulator
+//! drives it exactly like any other variant.
+
+#![warn(missing_docs)]
+
+pub mod connection;
+pub mod tdn_state;
+
+pub use connection::{State, TdtcpConfig, TdtcpConnection};
+pub use tdn_state::TdnState;

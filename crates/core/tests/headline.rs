@@ -1,0 +1,75 @@
+//! The headline result (§1, §5.2): TDTCP substantially out-performs
+//! single-path CUBIC on the hybrid RDCN, because per-TDN state lets it
+//! resume each network's window from a checkpoint instead of re-probing.
+
+use rdcn::{analytic, Emulator, NetConfig};
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{Config, Connection, FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+
+const FLOWS: usize = 16;
+
+fn run_variant(variant: &str, horizon: SimTime) -> f64 {
+    let cfg = NetConfig::paper_baseline();
+    let cc = CcConfig::default();
+    let factory: rdcn::EndpointFactory = match variant {
+        "cubic" => Box::new(move |i| {
+            let c = Config::default();
+            (
+                Box::new(Connection::connect(
+                    FlowId(i as u32),
+                    c.clone(),
+                    Box::new(Cubic::new(cc)),
+                    SimTime::ZERO,
+                )) as Box<dyn Transport>,
+                Box::new(Connection::listen(FlowId(i as u32), c, Box::new(Cubic::new(cc))))
+                    as Box<dyn Transport>,
+            )
+        }),
+        "tdtcp" => Box::new(move |i| {
+            let c = TdtcpConfig::default();
+            let template = Cubic::new(cc);
+            (
+                Box::new(TdtcpConnection::connect(
+                    FlowId(i as u32),
+                    c.clone(),
+                    &template,
+                    SimTime::ZERO,
+                )) as Box<dyn Transport>,
+                Box::new(TdtcpConnection::listen(FlowId(i as u32), c, &template))
+                    as Box<dyn Transport>,
+            )
+        }),
+        _ => unreachable!(),
+    };
+    let emu = Emulator::new(cfg, FLOWS, factory);
+    let res = emu.run(horizon);
+    res.total_acked() as f64
+}
+
+#[test]
+fn tdtcp_beats_cubic_headline() {
+    let horizon = SimTime::from_millis(25);
+    let cubic = run_variant("cubic", horizon);
+    let tdtcp = run_variant("tdtcp", horizon);
+    let cfg = NetConfig::paper_baseline();
+    let optimal = analytic::optimal_bytes(&cfg, horizon);
+    let packet_only = analytic::packet_only_bytes(&cfg, horizon);
+    let gain = tdtcp / cubic - 1.0;
+    println!(
+        "cubic={cubic:.0} tdtcp={tdtcp:.0} optimal={optimal:.0} packet_only={packet_only:.0} gain={:.1}%",
+        gain * 100.0
+    );
+    // The paper reports 24% over CUBIC in this setting; demand the right
+    // shape: a double-digit improvement, bounded by optimal.
+    assert!(
+        gain > 0.10,
+        "TDTCP gain over CUBIC only {:.1}%",
+        gain * 100.0
+    );
+    assert!(tdtcp < optimal);
+    // And TDTCP must exploit the optical capacity: clearly above any
+    // packet-only strategy.
+    assert!(tdtcp > packet_only);
+}

@@ -1,0 +1,155 @@
+//! Property tests on the TDTCP connection: arbitrary interleavings of
+//! notifications, crafted ACKs, timer fires and polls never violate the
+//! state invariants (no panic, per-TDN accounting partitions the total,
+//! the current TDN always has a state set, sequence progress is
+//! monotone).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{FlowId, SackBlocks, Segment, SeqNum, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+use wire::TdnId;
+
+const MSS: u32 = 1000;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Poll,
+    Notify(u8),
+    Ack { ack_kmss: u32, sack: Option<(u32, u32)>, ack_tdn: u8 },
+    Timer,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Poll),
+        1 => (0u8..4).prop_map(Op::Notify),
+        3 => (0u32..64, proptest::option::of((0u32..64, 1u32..16)), 0u8..3).prop_map(
+            |(ack_kmss, sack, ack_tdn)| Op::Ack {
+                ack_kmss,
+                sack: sack.map(|(s, l)| (s, s + l)),
+                ack_tdn,
+            }
+        ),
+        1 => Just(Op::Timer),
+    ]
+}
+
+fn establish() -> TdtcpConnection {
+    let mut cfg = TdtcpConfig::default();
+    cfg.tcp.mss = MSS;
+    cfg.tcp.pacing = false;
+    let cubic = Cubic::new(CcConfig {
+        mss: MSS,
+        init_cwnd_pkts: 10,
+        max_cwnd: 1 << 24,
+    });
+    let mut a = TdtcpConnection::connect(FlowId(1), cfg, &cubic, SimTime::ZERO);
+    let mut synack = Segment::new(FlowId(1), tcp::Direction::AckPath);
+    synack.flags.syn = true;
+    synack.flags.ack = true;
+    synack.seq = SeqNum(0);
+    synack.ack = SeqNum(1);
+    synack.wnd = 1 << 22;
+    synack.td_capable = Some(2);
+    a.handle_segment(SimTime::from_micros(100), &synack);
+    assert!(a.is_established());
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_op_sequences_keep_invariants(ops in vec(arb_op(), 1..120)) {
+        let mut conn = establish();
+        let mut now_us = 200u64;
+        let mut last_acked = 0u64;
+        for op in ops {
+            now_us += 37;
+            let now = SimTime::from_micros(now_us);
+            match op {
+                Op::Poll => {
+                    // Drain at most a window's worth to bound the test.
+                    for _ in 0..64 {
+                        if conn.poll_transmit(now).is_none() {
+                            break;
+                        }
+                    }
+                }
+                Op::Notify(tdn) => conn.on_notification(now, TdnId(tdn)),
+                Op::Ack { ack_kmss, sack, ack_tdn } => {
+                    let mut seg = Segment::new(FlowId(1), tcp::Direction::AckPath);
+                    seg.flags.ack = true;
+                    seg.ack = SeqNum(1) + ack_kmss * MSS;
+                    seg.wnd = 1 << 22;
+                    seg.ack_tdn = Some(TdnId(ack_tdn));
+                    if let Some((l, r)) = sack {
+                        let mut sb = SackBlocks::EMPTY;
+                        sb.push(SeqNum(1) + l * MSS, SeqNum(1) + r * MSS);
+                        seg.sack = sb;
+                    }
+                    conn.handle_segment(now, &seg);
+                }
+                Op::Timer => {
+                    if let Some(t) = conn.next_timer_at() {
+                        let fire = t.as_micros().max(now_us) + 1;
+                        now_us = fire;
+                        conn.handle_timer(SimTime::from_micros(fire));
+                    }
+                }
+            }
+
+            // --- invariants ---
+            // Sequence progress is monotone.
+            let acked = conn.stats().bytes_acked;
+            prop_assert!(acked >= last_acked);
+            last_acked = acked;
+            // The current TDN is always indexable.
+            let cur = conn.current_tdn();
+            prop_assert!(cur.index() < conn.num_tdn_states().max(1) + 256);
+            let _ = conn.tdn_state(cur); // must not panic
+            // Per-TDN pipes never exceed the total outstanding.
+            let total = conn.total_packets_out();
+            let mut per = 0;
+            for i in 0..conn.num_tdn_states() {
+                per += conn.pipe_bytes(TdnId(i as u8)) / MSS;
+            }
+            // pipe excludes lost/sacked so the partition is <= total
+            // (plus retransmissions in flight, bounded by total).
+            prop_assert!(per <= total * 2 + 2);
+        }
+    }
+
+    /// Stats counters are monotone under any op sequence.
+    #[test]
+    fn counters_monotone(ops in vec(arb_op(), 1..80)) {
+        let mut conn = establish();
+        let mut now_us = 200u64;
+        let mut prev = *conn.stats();
+        for op in ops {
+            now_us += 53;
+            let now = SimTime::from_micros(now_us);
+            match op {
+                Op::Poll => { let _ = conn.poll_transmit(now); }
+                Op::Notify(t) => conn.on_notification(now, TdnId(t)),
+                Op::Ack { ack_kmss, .. } => {
+                    let mut seg = Segment::new(FlowId(1), tcp::Direction::AckPath);
+                    seg.flags.ack = true;
+                    seg.ack = SeqNum(1) + ack_kmss * MSS;
+                    seg.wnd = 1 << 22;
+                    conn.handle_segment(now, &seg);
+                }
+                Op::Timer => conn.handle_timer(now),
+            }
+            let s = *conn.stats();
+            prop_assert!(s.bytes_sent >= prev.bytes_sent);
+            prop_assert!(s.retransmits >= prev.retransmits);
+            prop_assert!(s.tdn_switches >= prev.tdn_switches);
+            prop_assert!(s.segs_received >= prev.segs_received);
+            prev = s;
+        }
+    }
+}

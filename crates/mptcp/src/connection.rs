@@ -1,0 +1,505 @@
+//! The MPTCP baseline with the paper's `tdm_schd` scheduler (§2.2).
+//!
+//! One full TCP subflow per TDN, each *pinned* to its network (segments
+//! only traverse the RDCN while that TDN is active). A connection-level
+//! 64-bit data sequence space maps over the subflows via simplified DSS
+//! options; `tdm_schd` steers new data to the subflow of the currently
+//! active TDN. When ACKs for data sent on the previous TDN are stranded
+//! (the receiver cannot transmit on an inactive subflow), the
+//! connection-level send buffer fills and the sender stalls until
+//! *reinjection* re-sends the unacknowledged data ranges on the active
+//! subflow — the exact pathology §2.2 measures.
+
+use crate::dsn::DsnTracker;
+use simcore::SimTime;
+use tcp::cc::CongestionControl;
+use tcp::{ConnStats, DssMap, FlowId, Segment, SeqNum, Transport};
+use wire::TdnId;
+
+/// MPTCP configuration.
+#[derive(Debug, Clone)]
+pub struct MptcpConfig {
+    /// Per-subflow TCP knobs (MSS, buffers, RTO bounds...).
+    pub tcp: tcp::Config,
+    /// Total application bytes to transfer (`u64::MAX` = unbounded bulk).
+    pub bytes_to_send: u64,
+    /// Connection-level send buffer: unacknowledged data-level bytes may
+    /// not exceed this. This is what converts stranded ACKs into stalls.
+    pub send_buf: u64,
+    /// Enable connection-level reinjection (the Linux MPTCP work-around;
+    /// disabling it is the ablation that shows permanent stalls).
+    pub reinject: bool,
+    /// Connection-level receive buffer: data held above a data-level hole
+    /// (stranded on an inactive subflow) consumes it, closing the
+    /// advertised window — the §2.2 "flow control stall".
+    pub recv_buf_conn: u64,
+    /// Number of subflows (= TDNs).
+    pub num_subflows: usize,
+}
+
+impl Default for MptcpConfig {
+    fn default() -> Self {
+        let mut tcp_cfg = tcp::Config::default();
+        tcp_cfg.bytes_to_send = 0; // subflows are fed by the scheduler
+        MptcpConfig {
+            tcp: tcp_cfg,
+            bytes_to_send: u64::MAX,
+            send_buf: 1 << 20,
+            reinject: true,
+            recv_buf_conn: 512 << 10,
+            num_subflows: 2,
+        }
+    }
+}
+
+/// One byte-range mapping from a subflow's sequence space into the data
+/// sequence space.
+#[derive(Debug, Clone, Copy)]
+struct Mapping {
+    ssn: SeqNum,
+    dsn: u64,
+    len: u32,
+}
+
+struct Subflow {
+    conn: Option<tcp::Connection>,
+    tdn: TdnId,
+    /// Active data mappings, oldest first.
+    mappings: Vec<Mapping>,
+    /// Subflow sequence where the next enqueued byte will land.
+    app_end: SeqNum,
+}
+
+impl Subflow {
+    fn established(&self) -> bool {
+        self.conn.as_ref().is_some_and(|c| c.is_established())
+    }
+}
+
+/// Endpoint role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Sender,
+    Receiver,
+}
+
+/// An MPTCP endpoint (both subflows plus connection-level state).
+pub struct MptcpConnection {
+    cfg: MptcpConfig,
+    flow: FlowId,
+    role: Role,
+    cc_template: Box<dyn CongestionControl>,
+    subflows: Vec<Subflow>,
+    /// tdm_schd: the TDN whose subflow receives new data.
+    current: TdnId,
+    /// Next data sequence to assign.
+    dsn_next: u64,
+    /// Cumulative data-level acknowledgment received.
+    dsn_una: u64,
+    /// Application bytes not yet assigned to any subflow.
+    bytes_unassigned: u64,
+    /// Lowest data sequence not yet reinjected in the current stall.
+    reinject_cursor: u64,
+    /// Receiver-side data-level reassembly.
+    rx: DsnTracker,
+    stats: ConnStats,
+    done: bool,
+}
+
+impl MptcpConnection {
+    /// Create the sending endpoint. Subflow 0 (packet network) connects
+    /// immediately; other subflows connect lazily when their TDN first
+    /// activates (queueing a TDN-pinned SYN at `t = 0` would park it in
+    /// the ToR VOQ for a full week).
+    pub fn connect(
+        flow: FlowId,
+        cfg: MptcpConfig,
+        cc_template: &dyn CongestionControl,
+        now: SimTime,
+    ) -> Self {
+        let mut c = Self::new_endpoint(flow, Role::Sender, cfg, cc_template);
+        c.bytes_unassigned = c.cfg.bytes_to_send;
+        c.activate_subflow(0, now);
+        c
+    }
+
+    /// Create the receiving endpoint: one listener per subflow.
+    pub fn listen(flow: FlowId, cfg: MptcpConfig, cc_template: &dyn CongestionControl) -> Self {
+        let mut c = Self::new_endpoint(flow, Role::Receiver, cfg, cc_template);
+        for i in 0..c.subflows.len() {
+            let conn = tcp::Connection::listen(flow, c.cfg.tcp.clone(), c.cc_template.clone_box());
+            c.subflows[i].conn = Some(conn);
+        }
+        c
+    }
+
+    fn new_endpoint(
+        flow: FlowId,
+        role: Role,
+        cfg: MptcpConfig,
+        cc_template: &dyn CongestionControl,
+    ) -> Self {
+        assert!(cfg.num_subflows >= 1);
+        let subflows = (0..cfg.num_subflows)
+            .map(|i| Subflow {
+                conn: None,
+                tdn: TdnId(i as u8),
+                mappings: Vec::new(),
+                app_end: SeqNum(cfg.tcp.isn) + 1, // data starts after the SYN
+            })
+            .collect();
+        MptcpConnection {
+            cfg,
+            flow,
+            role,
+            cc_template: cc_template.clone_box(),
+            subflows,
+            current: TdnId::ZERO,
+            dsn_next: 0,
+            dsn_una: 0,
+            bytes_unassigned: 0,
+            reinject_cursor: 0,
+            rx: DsnTracker::new(),
+            stats: ConnStats::new(),
+            done: false,
+        }
+    }
+
+    fn activate_subflow(&mut self, idx: usize, now: SimTime) {
+        if self.subflows[idx].conn.is_none() && self.role == Role::Sender {
+            let conn = tcp::Connection::connect(
+                self.flow,
+                self.cfg.tcp.clone(),
+                self.cc_template.clone_box(),
+                now,
+            );
+            self.subflows[idx].conn = Some(conn);
+        }
+    }
+
+    /// Cumulative data-level acknowledgment (sender side).
+    pub fn dsn_una(&self) -> u64 {
+        self.dsn_una
+    }
+
+    /// Data-level bytes delivered in order (receiver side).
+    pub fn data_delivered(&self) -> u64 {
+        self.rx.rcv_nxt()
+    }
+
+    /// The subflow currently scheduled by `tdm_schd`.
+    pub fn current_subflow(&self) -> TdnId {
+        self.current
+    }
+
+    fn subflow_index(&self, pin: Option<TdnId>) -> usize {
+        pin.map(|t| t.index().min(self.subflows.len() - 1))
+            .unwrap_or(0)
+    }
+
+    /// Which subflow owns data sequence `dsn` (latest mapping wins, since
+    /// reinjection creates a second mapping for the same range).
+    fn mapping_owner(&self, dsn: u64) -> Option<usize> {
+        for (i, sf) in self.subflows.iter().enumerate() {
+            if sf
+                .mappings
+                .iter()
+                .any(|m| m.dsn <= dsn && dsn < m.dsn + u64::from(m.len))
+            {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// tdm_schd assignment: feed the active subflow one chunk at a time.
+    fn assign_chunks(&mut self, _now: SimTime) {
+        if self.role != Role::Sender {
+            return;
+        }
+        let idx = self.subflow_index(Some(self.current));
+        if !self.subflows[idx].established() {
+            return;
+        }
+        let inflight = self.dsn_next - self.dsn_una;
+        // New data is limited by both the send buffer and the shared
+        // connection-level receive window (data parked above a hole that
+        // is stranded on an inactive subflow consumes the peer's buffer —
+        // the §2.2 flow-control stall). Hole-filling reinjection is not
+        // window-limited and proceeds via maybe_reinject.
+        if inflight >= self.cfg.send_buf.min(self.cfg.recv_buf_conn)
+            || self.bytes_unassigned == 0
+        {
+            return;
+        }
+        let sf = &mut self.subflows[idx];
+        let conn = sf.conn.as_mut().expect("established");
+        if conn.unsent_bytes() > 0 {
+            return; // keep segments aligned with whole mappings
+        }
+        let len = u64::from(self.cfg.tcp.mss)
+            .min(self.bytes_unassigned)
+            .min(self.cfg.send_buf - inflight) as u32;
+        if len == 0 {
+            return;
+        }
+        sf.mappings.push(Mapping {
+            ssn: sf.app_end,
+            dsn: self.dsn_next,
+            len,
+        });
+        conn.enqueue_app_bytes(u64::from(len));
+        sf.app_end += len;
+        self.dsn_next += u64::from(len);
+        self.bytes_unassigned -= u64::from(len);
+    }
+
+    /// Connection-level reinjection: when progress is blocked by
+    /// unacknowledged data owned by an *inactive* subflow, re-send that
+    /// data range on the active subflow.
+    fn maybe_reinject(&mut self, _now: SimTime) {
+        if self.role != Role::Sender || !self.cfg.reinject {
+            return;
+        }
+        let idx = self.subflow_index(Some(self.current));
+        if !self.subflows[idx].established() {
+            return;
+        }
+        // Reinject when data-level progress is head-of-line blocked by a
+        // range owned by an inactive subflow *and* the send buffer is
+        // under real pressure — the Linux implementation only reinjects
+        // when the scheduler can no longer push new data, which is what
+        // produces the measured stall-then-recover pattern (§2.2).
+        if self.dsn_una >= self.dsn_next {
+            return;
+        }
+        // Trigger before the shared receive window fully closes, so the
+        // reinjected copy can still be delivered and reopen the window.
+        if self.dsn_next - self.dsn_una < self.cfg.recv_buf_conn / 2 {
+            return;
+        }
+        self.reinject_cursor = self.reinject_cursor.max(self.dsn_una);
+        if self.reinject_cursor >= self.dsn_next {
+            return;
+        }
+        let Some(owner) = self.mapping_owner(self.reinject_cursor) else {
+            return;
+        };
+        if owner == idx {
+            return; // blocking data already rides the active subflow
+        }
+        // Don't flood: one reinjected chunk at a time through the subflow.
+        if self.subflows[idx]
+            .conn
+            .as_ref()
+            .expect("established")
+            .unsent_bytes()
+            > 0
+        {
+            return;
+        }
+        // Reinject one MSS-sized chunk of the blocking range.
+        let owner_map = self.subflows[owner]
+            .mappings
+            .iter()
+            .find(|m| m.dsn <= self.reinject_cursor && self.reinject_cursor < m.dsn + u64::from(m.len))
+            .copied()
+            .expect("owner found above");
+        let offset = self.reinject_cursor - owner_map.dsn;
+        let len = owner_map.len - offset as u32;
+        let sf = &mut self.subflows[idx];
+        sf.mappings.push(Mapping {
+            ssn: sf.app_end,
+            dsn: self.reinject_cursor,
+            len,
+        });
+        sf.conn
+            .as_mut()
+            .expect("established")
+            .enqueue_app_bytes(u64::from(len));
+        sf.app_end += len;
+        self.reinject_cursor += u64::from(len);
+        self.stats.reinjections += 1;
+    }
+
+    /// Drop mappings fully acknowledged at the subflow level.
+    fn gc_mappings(&mut self) {
+        for sf in &mut self.subflows {
+            let Some(conn) = sf.conn.as_ref() else { continue };
+            let una = conn.snd_una();
+            sf.mappings
+                .retain(|m| (m.ssn + m.len).after(una));
+        }
+    }
+
+    fn refresh_stats(&mut self) {
+        let mut s = ConnStats::new();
+        for sf in &self.subflows {
+            if let Some(c) = sf.conn.as_ref() {
+                let sub = c.stats();
+                s.segs_sent += sub.segs_sent;
+                s.acks_sent += sub.acks_sent;
+                s.segs_received += sub.segs_received;
+                s.retransmits += sub.retransmits;
+                s.fast_recoveries += sub.fast_recoveries;
+                s.reorder_events += sub.reorder_events;
+                s.reorder_marked_pkts += sub.reorder_marked_pkts;
+                s.rtos += sub.rtos;
+                s.tlps += sub.tlps;
+                s.bytes_sent += sub.bytes_sent;
+                s.spurious_retransmits += sub.spurious_retransmits;
+                s.dup_segs_received += sub.dup_segs_received;
+            }
+        }
+        // Connection-level semantics for the sequence-progress metrics.
+        s.bytes_acked = self.dsn_una;
+        s.bytes_delivered = self.rx.rcv_nxt();
+        s.reinjections = self.stats.reinjections;
+        s.tdn_switches = self.stats.tdn_switches;
+        self.stats = s;
+    }
+}
+
+impl Transport for MptcpConnection {
+    fn on_segment(&mut self, now: SimTime, seg: &Segment) {
+        let idx = self.subflow_index(seg.pin);
+        // Data-level bookkeeping happens at the MPTCP layer.
+        if seg.has_payload() {
+            if let Some(dss) = seg.dss {
+                let out = self.rx.on_data(dss.dsn, u64::from(dss.len.min(seg.len)));
+                if out.duplicate {
+                    self.stats.dup_segs_received += 1;
+                }
+            }
+        }
+        if let Some(dack) = seg.data_ack {
+            if dack > self.dsn_una {
+                self.dsn_una = dack;
+            }
+        }
+        if let Some(conn) = self.subflows[idx].conn.as_mut() {
+            conn.on_segment(now, seg);
+        }
+        self.gc_mappings();
+        if self.role == Role::Sender
+            && self.cfg.bytes_to_send != u64::MAX
+            && self.dsn_una >= self.cfg.bytes_to_send
+        {
+            self.done = true;
+        }
+        self.refresh_stats();
+    }
+
+    fn poll_send(&mut self, now: SimTime) -> Option<Segment> {
+        self.assign_chunks(now);
+        self.maybe_reinject(now);
+        // Poll the active subflow first, then the others (retransmissions
+        // and stranded ACKs may still be queued there).
+        let active = self.subflow_index(Some(self.current));
+        let order: Vec<usize> = std::iter::once(active)
+            .chain((0..self.subflows.len()).filter(|&i| i != active))
+            .collect();
+        for i in order {
+            let data_ack = self.rx.rcv_nxt();
+            let sf = &mut self.subflows[i];
+            let Some(conn) = sf.conn.as_mut() else { continue };
+            if let Some(mut seg) = conn.poll_send(now) {
+                seg.pin = Some(sf.tdn);
+                if seg.has_payload() {
+                    // Attach the DSS mapping covering this segment.
+                    let m = sf
+                        .mappings
+                        .iter()
+                        .find(|m| {
+                            seg.seq.after_eq(m.ssn) && seg.seq.before(m.ssn + m.len)
+                        })
+                        .copied();
+                    if let Some(m) = m {
+                        let offset = seg.seq - m.ssn;
+                        debug_assert!(
+                            seg.len <= m.len - offset,
+                            "segment must not span mappings"
+                        );
+                        seg.dss = Some(DssMap {
+                            dsn: m.dsn + u64::from(offset),
+                            ssn: seg.seq,
+                            len: seg.len,
+                        });
+                    }
+                }
+                if seg.flags.ack && self.role == Role::Receiver {
+                    seg.data_ack = Some(data_ack);
+                }
+                self.refresh_stats();
+                return Some(seg);
+            }
+        }
+        None
+    }
+
+    fn next_timer(&self) -> Option<SimTime> {
+        self.subflows
+            .iter()
+            .filter_map(|sf| sf.conn.as_ref().and_then(|c| c.next_timer()))
+            .min()
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        for sf in &mut self.subflows {
+            if let Some(conn) = sf.conn.as_mut() {
+                conn.on_timer(now);
+            }
+        }
+        self.refresh_stats();
+    }
+
+    fn on_tdn_notification(&mut self, now: SimTime, tdn: TdnId) {
+        if tdn != self.current {
+            self.stats.tdn_switches += 1;
+        }
+        self.current = tdn;
+        let idx = self.subflow_index(Some(tdn));
+        self.activate_subflow(idx, now);
+        // A new stall episode may begin; allow the fresh ranges to be
+        // reinjected once progress is judged blocked again.
+        self.reinject_cursor = self.reinject_cursor.max(self.dsn_una);
+    }
+
+    fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    fn is_established(&self) -> bool {
+        self.subflows
+            .first()
+            .is_some_and(Subflow::established)
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn variant(&self) -> &'static str {
+        "mptcp"
+    }
+
+    fn cwnd_report(&self) -> Vec<u32> {
+        self.subflows
+            .iter()
+            .filter_map(|sf| sf.conn.as_ref().map(tcp::Connection::cwnd))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for MptcpConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MptcpConnection")
+            .field("flow", &self.flow)
+            .field("role", &self.role)
+            .field("current", &self.current)
+            .field("dsn_next", &self.dsn_next)
+            .field("dsn_una", &self.dsn_una)
+            .field("done", &self.done)
+            .finish()
+    }
+}

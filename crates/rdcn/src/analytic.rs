@@ -1,0 +1,136 @@
+//! Analytic reference curves for the sequence graphs: the "optimal" line
+//! (an idealized TCP that fully uses whichever TDN is up) and the
+//! "packet only" line (the packet network's rate with no blackouts),
+//! exactly as defined in §2.2/§5.2.
+
+use crate::config::NetConfig;
+use simcore::{SimDuration, SimTime};
+
+/// Bytes an idealized flow transfers by time `t`: full rate of the active
+/// TDN during days, nothing during nights.
+pub fn optimal_bytes(cfg: &NetConfig, t: SimTime) -> f64 {
+    let sched = &cfg.schedule;
+    let slot = sched.slot_len().as_nanos();
+    let day = sched.day_len.as_nanos();
+    let mut bytes = 0.0;
+    let mut day_no = 0u64;
+    loop {
+        let start = day_no * slot;
+        if start >= t.as_nanos() {
+            break;
+        }
+        let rate = cfg.tdn(sched.day_tdn(day_no)).rate_bps as f64 / 8e9; // bytes per ns
+        let active_end = start + day;
+        let covered = t.as_nanos().min(active_end).saturating_sub(start);
+        bytes += covered as f64 * rate;
+        day_no += 1;
+    }
+    bytes
+}
+
+/// Bytes transferred by time `t` using only the packet network at its full
+/// rate continuously (no blackout penalty — the flow never leaves the
+/// always-up packet fabric).
+pub fn packet_only_bytes(cfg: &NetConfig, t: SimTime) -> f64 {
+    let rate = cfg.tdn(wire::TdnId(0)).rate_bps as f64 / 8e9;
+    t.as_nanos() as f64 * rate
+}
+
+/// Mean optimal rate in bits per second over whole weeks.
+pub fn optimal_rate_bps(cfg: &NetConfig) -> f64 {
+    let week = cfg.schedule.week_len();
+    let bytes = optimal_bytes(cfg, SimTime::ZERO + week);
+    bytes * 8.0 / week.as_secs_f64()
+}
+
+/// Sample a reference curve on a fixed grid, for printing next to
+/// measured series.
+pub fn sample_curve(
+    f: impl Fn(SimTime) -> f64,
+    start: SimTime,
+    end: SimTime,
+    step: SimDuration,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut t = start;
+    let base = f(start);
+    while t < end {
+        out.push(f(t) - base);
+        t += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_one_week() {
+        let cfg = NetConfig::paper_baseline();
+        let week_end = SimTime::ZERO + cfg.schedule.week_len();
+        let bytes = optimal_bytes(&cfg, week_end);
+        // 6 packet days * 180us * 1.25 B/ns + 1 optical day * 180us * 12.5
+        // = 1_350_000 + 2_250_000 = 3.6 MB.
+        assert!((bytes - 3_600_000.0).abs() < 1.0, "got {bytes}");
+    }
+
+    #[test]
+    fn optimal_mid_day_partial() {
+        let cfg = NetConfig::paper_baseline();
+        // 90us into the first (packet) day: 90_000ns * 1.25 B/ns.
+        let b = optimal_bytes(&cfg, SimTime::from_micros(90));
+        assert!((b - 112_500.0).abs() < 1.0);
+        // Nights contribute nothing: 180us and 200us give the same bytes.
+        let day_end = optimal_bytes(&cfg, SimTime::from_micros(180));
+        let night_end = optimal_bytes(&cfg, SimTime::from_micros(200));
+        assert_eq!(day_end, night_end);
+    }
+
+    #[test]
+    fn packet_only_ignores_blackouts() {
+        let cfg = NetConfig::paper_baseline();
+        let b = packet_only_bytes(&cfg, SimTime::from_micros(200));
+        assert!((b - 250_000.0).abs() < 1.0, "10G for 200us = 250kB");
+    }
+
+    #[test]
+    fn optimal_average_rate_headline() {
+        let cfg = NetConfig::paper_baseline();
+        let rate = optimal_rate_bps(&cfg);
+        // 3.6 MB per 1400us ≈ 20.57 Gbps.
+        assert!(
+            (rate - 20.57e9).abs() < 0.05e9,
+            "optimal mean rate {rate:.3e}"
+        );
+        // The optical capacity roughly doubles what packet-only achieves —
+        // the "potential gain" the paper describes.
+        assert!(rate / 10e9 > 2.0);
+    }
+
+    #[test]
+    fn latency_only_optimal_close_to_packet_only() {
+        // With equal bandwidth, optimal < packet-only because of blackout
+        // periods (Fig. 9's observation).
+        let cfg = NetConfig::latency_only(100_000_000_000);
+        let t = SimTime::ZERO + cfg.schedule.week_len();
+        let opt = optimal_bytes(&cfg, t);
+        let pkt = packet_only_bytes(&cfg, t);
+        assert!(opt < pkt);
+        assert!(opt / pkt > 0.85, "only the 10% duty cycle separates them");
+    }
+
+    #[test]
+    fn sample_curve_zero_based() {
+        let cfg = NetConfig::paper_baseline();
+        let v = sample_curve(
+            |t| optimal_bytes(&cfg, t),
+            SimTime::from_micros(1400),
+            SimTime::from_micros(1600),
+            SimDuration::from_micros(100),
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 0.0, "curves re-zeroed at the window start");
+        assert!(v[1] > 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Network-level configuration for the emulated RDCN.
+
+use crate::notify::NotifyConfig;
+use crate::schedule::Schedule;
+use crate::voq::VoqConfig;
+use simcore::SimDuration;
+use wire::TdnId;
+
+/// Physical characteristics of one TDN between the rack pair.
+#[derive(Debug, Clone, Copy)]
+pub struct TdnParams {
+    /// Bottleneck bandwidth in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation delay (per direction), excluding serialization
+    /// and queueing.
+    pub one_way: SimDuration,
+    /// In-network queueing jitter: with probability `.0`, a packet picks
+    /// up an exponentially distributed extra delay of mean `.1`. The EPS
+    /// fabric queues inside the network (its "100 µs RTT" is *with*
+    /// queueing, §2.1) — which is also what makes segments straggle when
+    /// the circuit activates; the OCS "does not queue inside the network".
+    pub jitter: Option<(f64, SimDuration)>,
+}
+
+impl TdnParams {
+    /// The paper's packet network: 10 Gbps, 100 µs RTT (with in-network
+    /// queueing jitter from the multi-hop EPS fabric).
+    pub fn packet_10g() -> TdnParams {
+        TdnParams {
+            rate_bps: 10_000_000_000,
+            one_way: SimDuration::from_micros(50),
+            jitter: Some((0.15, SimDuration::from_micros(12))),
+        }
+    }
+
+    /// The paper's optical network: 100 Gbps, 40 µs RTT, no in-network
+    /// queueing (circuits have no intermediate buffering).
+    pub fn optical_100g() -> TdnParams {
+        TdnParams {
+            rate_bps: 100_000_000_000,
+            one_way: SimDuration::from_micros(20),
+            jitter: None,
+        }
+    }
+
+    /// Bandwidth-delay product in bytes for this TDN.
+    pub fn bdp_bytes(&self) -> u64 {
+        // rate * RTT / 8
+        (self.rate_bps as f64 * (self.one_way.as_secs_f64() * 2.0) / 8.0) as u64
+    }
+}
+
+/// retcpdyn switch support: advance VOQ enlargement + sender prepare
+/// signal (§5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct RetcpDynConfig {
+    /// Lead time before a circuit day at which the VOQ is enlarged and
+    /// senders are told to ramp (150 µs in the paper).
+    pub prepare_lead: SimDuration,
+    /// Enlarged VOQ capacity (50 packets in the paper).
+    pub enlarged_cap: usize,
+}
+
+impl Default for RetcpDynConfig {
+    fn default() -> Self {
+        RetcpDynConfig {
+            prepare_lead: SimDuration::from_micros(150),
+            enlarged_cap: 50,
+        }
+    }
+}
+
+/// Full configuration of the emulated two-rack RDCN.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-TDN link characteristics, indexed by TDN ID.
+    pub tdns: Vec<TdnParams>,
+    /// The day/night schedule.
+    pub schedule: Schedule,
+    /// ToR VOQ settings (applied to both directions).
+    pub voq: VoqConfig,
+    /// Whether ToRs send TDN-change notifications (TDTCP needs them; other
+    /// variants ignore them).
+    pub notifications: bool,
+    /// Notification latency model.
+    pub notify: NotifyConfig,
+    /// Whether the switch sets the circuit mark on segments that traverse
+    /// the optical TDN (reTCP's explicit feedback).
+    pub circuit_marking: bool,
+    /// Which TDN counts as "the circuit" for marking/retcpdyn purposes.
+    pub circuit_tdn: TdnId,
+    /// retcpdyn switch support, if enabled.
+    pub retcpdyn: Option<RetcpDynConfig>,
+    /// Host NIC uplink rate in bits per second: segments leave a host at
+    /// this serialization rate rather than as instantaneous bursts (the
+    /// testbed's hosts have their own NICs; without this, window-sized
+    /// bursts at TDN switches would overstate VOQ tail drops).
+    pub host_rate_bps: u64,
+    /// RNG seed for the run.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// The paper's baseline testbed (§5.1): hybrid 6:1 schedule,
+    /// 10 G/100 µs packet TDN, 100 G/40 µs optical TDN, 16-packet VOQs.
+    pub fn paper_baseline() -> NetConfig {
+        NetConfig {
+            tdns: vec![TdnParams::packet_10g(), TdnParams::optical_100g()],
+            schedule: Schedule::hybrid_6to1(),
+            voq: VoqConfig::default(),
+            notifications: true,
+            notify: NotifyConfig::optimized(),
+            circuit_marking: false,
+            circuit_tdn: TdnId(1),
+            retcpdyn: None,
+            host_rate_bps: 100_000_000_000,
+            seed: 1,
+        }
+    }
+
+    /// Fig. 8 variant: bandwidth difference only (both TDNs at the packet
+    /// network's 100 µs RTT).
+    pub fn bandwidth_only() -> NetConfig {
+        let mut c = NetConfig::paper_baseline();
+        c.tdns = vec![
+            TdnParams::packet_10g(),
+            TdnParams {
+                rate_bps: 100_000_000_000,
+                one_way: SimDuration::from_micros(50),
+                jitter: None,
+            },
+        ];
+        c
+    }
+
+    /// Fig. 9 / Fig. 14 variant: latency difference only, at the given
+    /// shared bandwidth; RTTs 20 µs and 10 µs per the appendix.
+    pub fn latency_only(rate_bps: u64) -> NetConfig {
+        let mut c = NetConfig::paper_baseline();
+        c.tdns = vec![
+            TdnParams {
+                rate_bps,
+                one_way: SimDuration::from_micros(10),
+                jitter: Some((0.15, SimDuration::from_micros(3))),
+            },
+            TdnParams {
+                rate_bps,
+                one_way: SimDuration::from_micros(5),
+                jitter: None,
+            },
+        ];
+        c
+    }
+
+    /// Parameters of the TDN `id`.
+    pub fn tdn(&self, id: TdnId) -> &TdnParams {
+        &self.tdns[id.index()]
+    }
+
+    /// The slowest TDN's RTT (TDTCP's pessimistic RTO assumption, §4.4).
+    pub fn slowest_rtt(&self) -> SimDuration {
+        self.tdns
+            .iter()
+            .map(|t| t.one_way * 2)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_parameters() {
+        let c = NetConfig::paper_baseline();
+        assert_eq!(c.tdns.len(), 2);
+        assert_eq!(c.tdn(TdnId(0)).rate_bps, 10_000_000_000);
+        assert_eq!(c.tdn(TdnId(1)).rate_bps, 100_000_000_000);
+        assert_eq!(c.tdn(TdnId(0)).one_way, SimDuration::from_micros(50));
+        assert_eq!(c.slowest_rtt(), SimDuration::from_micros(100));
+        // Packet BDP = 10 Gbps * 100us = 125 kB ≈ 14 jumbo frames; the
+        // 16-packet VOQ is "slightly larger than the packet network BDP".
+        let bdp = c.tdn(TdnId(0)).bdp_bytes();
+        assert_eq!(bdp, 125_000);
+        assert!(c.voq.cap_pkts as u64 * 9000 > bdp);
+    }
+
+    #[test]
+    fn variant_configs() {
+        let b = NetConfig::bandwidth_only();
+        assert_eq!(b.tdn(TdnId(0)).one_way, b.tdn(TdnId(1)).one_way);
+        assert_ne!(b.tdn(TdnId(0)).rate_bps, b.tdn(TdnId(1)).rate_bps);
+        let l = NetConfig::latency_only(100_000_000_000);
+        assert_eq!(l.tdn(TdnId(0)).rate_bps, l.tdn(TdnId(1)).rate_bps);
+        assert_ne!(l.tdn(TdnId(0)).one_way, l.tdn(TdnId(1)).one_way);
+    }
+
+    #[test]
+    fn optical_bdp() {
+        let o = TdnParams::optical_100g();
+        assert_eq!(o.bdp_bytes(), 500_000); // 100G * 40us
+    }
+}

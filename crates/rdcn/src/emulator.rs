@@ -1,0 +1,592 @@
+//! The two-rack RDCN emulator (the Etalon equivalent).
+//!
+//! Rack A hosts the senders of `n_flows` bulk flows; rack B the receivers.
+//! Each direction has one ToR VOQ serviced at the active TDN's rate; a
+//! dequeued segment occupies the link for its serialization time and
+//! arrives one propagation delay later. Nights service nothing (§2.1's
+//! strict time division). At each day start the ToR emits per-host ICMP
+//! TDN-change notifications with latencies drawn from the §5.4 model, and
+//! optionally applies reTCP switch support (circuit marking, advance VOQ
+//! enlargement, prepare signals).
+
+use crate::config::NetConfig;
+use crate::notify::NotifyModel;
+use crate::voq::Voq;
+use simcore::{DetRng, EventId, EventQueue, SimDuration, SimTime, TimeSeries};
+use tcp::{ConnStats, Direction, Segment, Transport};
+use wire::TdnId;
+
+/// Which rack a host lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Sender rack.
+    A,
+    /// Receiver rack.
+    B,
+}
+
+/// Traffic direction through the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// A → B (data).
+    Ab,
+    /// B → A (ACKs).
+    Ba,
+}
+
+enum Ev {
+    StartFlow { flow: usize },
+    Arrive { side: Side, flow: usize, seg: Segment },
+    Enqueue { dir: Dir, seg: Segment },
+    Service { dir: Dir },
+    DayStart { day: u64 },
+    NightStart { day: u64 },
+    Prepare,
+    Notify { side: Side, flow: usize, tdn: TdnId },
+    HostTimer { side: Side, flow: usize },
+    Sample,
+}
+
+/// Per-day deltas of the counters Fig. 10 plots, one entry per finished day.
+#[derive(Debug, Clone)]
+pub struct DayRecord {
+    /// Global day number.
+    pub day: u64,
+    /// The TDN that was active during this day.
+    pub tdn: TdnId,
+    /// Sum over flows of reordering events detected during the day.
+    pub reorder_events: u64,
+    /// Sum over flows of packets marked for retransmission by reordering.
+    pub reorder_marked_pkts: u64,
+    /// Retransmissions actually sent.
+    pub retransmits: u64,
+    /// Spurious retransmissions observed at receivers.
+    pub spurious_retransmits: u64,
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Aggregate acknowledged bytes over time (the sequence graph of
+    /// Figs. 2/7a/8a/9, summed over flows).
+    pub seq_series: TimeSeries,
+    /// A→B VOQ occupancy over time (Figs. 7b/8b/13/14).
+    pub voq_ab: TimeSeries,
+    /// B→A VOQ occupancy over time.
+    pub voq_ba: TimeSeries,
+    /// Final sender-side stats per flow.
+    pub sender_stats: Vec<ConnStats>,
+    /// Final receiver-side stats per flow.
+    pub receiver_stats: Vec<ConnStats>,
+    /// Per-day counter deltas (Fig. 10's input).
+    pub day_records: Vec<DayRecord>,
+    /// Segments tail-dropped in the A→B VOQ.
+    pub drops_ab: u64,
+    /// Segments tail-dropped in the B→A VOQ.
+    pub drops_ba: u64,
+    /// CE marks applied in the A→B VOQ.
+    pub ce_marks_ab: u64,
+    /// Final congestion windows per flow (one entry per path state).
+    pub final_cwnds: Vec<Vec<u32>>,
+    /// When each flow's sender finished (staggered/finite workloads).
+    pub completions: Vec<Option<SimTime>>,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Events processed (a performance counter).
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Aggregate goodput across flows in bits per second.
+    pub fn goodput_bps(&self) -> f64 {
+        let bytes: u64 = self.receiver_stats.iter().map(|s| s.bytes_delivered).sum();
+        if self.duration == SimDuration::ZERO {
+            return 0.0;
+        }
+        bytes as f64 * 8.0 / self.duration.as_secs_f64()
+    }
+
+    /// Aggregate acknowledged bytes at the end of the run.
+    pub fn total_acked(&self) -> u64 {
+        self.sender_stats.iter().map(|s| s.bytes_acked).sum()
+    }
+}
+
+/// Builds the two endpoints of flow `i`: `(sender, receiver)`. The sender
+/// must already have initiated its connection (queued its SYN) at `t = 0`.
+pub type EndpointFactory<'a> =
+    Box<dyn FnMut(usize) -> (Box<dyn Transport>, Box<dyn Transport>) + 'a>;
+
+/// Builds the endpoints of flow `i` when it starts at `now` (staggered
+/// workloads). The sender should initiate its connection at `now`.
+pub type TimedEndpointFactory<'a> =
+    Box<dyn FnMut(usize, SimTime) -> (Box<dyn Transport>, Box<dyn Transport>) + 'a>;
+
+/// Start time of each flow in a staggered workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowSpec {
+    /// When the flow's connection is created (SYN queued).
+    pub start: SimTime,
+}
+
+/// The emulator itself. Construct with [`Emulator::new`], then
+/// [`Emulator::run`].
+pub struct Emulator<'a> {
+    cfg: NetConfig,
+    q: EventQueue<Ev>,
+    rng: DetRng,
+    notify_model: NotifyModel,
+
+    senders: Vec<Option<Box<dyn Transport + 'a>>>,
+    receivers: Vec<Option<Box<dyn Transport + 'a>>>,
+    /// Deferred construction for staggered flows.
+    timed_factory: Option<TimedEndpointFactory<'a>>,
+    specs: Vec<FlowSpec>,
+    /// Completion time of each flow (first instant its sender reported
+    /// done), if it finished within the run.
+    completions: Vec<Option<SimTime>>,
+    timer_slots: Vec<[Option<(SimTime, EventId)>; 2]>,
+    /// Per-rack shared uplink availability: the testbed emulates each rack
+    /// as one machine with one data NIC, so all of a rack's hosts
+    /// serialize through a single uplink — which caps the VOQ's input
+    /// rate at the line rate and is what keeps circuit-day window bursts
+    /// from instantly overflowing the shallow VOQ.
+    nic_free: [SimTime; 2],
+
+    voq_ab: Voq,
+    voq_ba: Voq,
+    service_pending: [bool; 2],
+    link_free_at: [SimTime; 2],
+
+    active: Option<TdnId>,
+    seq_series: TimeSeries,
+    day_records: Vec<DayRecord>,
+    prev_snapshot: Vec<(ConnStats, ConnStats)>,
+    prev_day: u64,
+    prev_day_tdn: TdnId,
+    sample_every: SimDuration,
+}
+
+impl<'a> Emulator<'a> {
+    /// Create an emulator for `n_flows` flows whose endpoints come from
+    /// `factory`.
+    pub fn new(cfg: NetConfig, n_flows: usize, mut factory: EndpointFactory<'a>) -> Self {
+        let rng = DetRng::new(cfg.seed);
+        let notify_model = NotifyModel::new(cfg.notify);
+        let mut senders = Vec::with_capacity(n_flows);
+        let mut receivers = Vec::with_capacity(n_flows);
+        for i in 0..n_flows {
+            let (s, r) = factory(i);
+            senders.push(Some(s));
+            receivers.push(Some(r));
+        }
+        Emulator {
+            voq_ab: Voq::new("voq_ab", cfg.voq),
+            voq_ba: Voq::new("voq_ba", cfg.voq),
+            notify_model,
+            rng,
+            q: EventQueue::new(),
+            senders,
+            receivers,
+            timed_factory: None,
+            specs: (0..n_flows).map(|_| FlowSpec { start: SimTime::ZERO }).collect(),
+            completions: vec![None; n_flows],
+            timer_slots: vec![[None, None]; n_flows],
+            nic_free: [SimTime::ZERO; 2],
+            service_pending: [false, false],
+            link_free_at: [SimTime::ZERO; 2],
+            active: None,
+            seq_series: TimeSeries::new("seq"),
+            day_records: Vec::new(),
+            prev_snapshot: vec![(ConnStats::new(), ConnStats::new()); n_flows],
+            prev_day: 0,
+            prev_day_tdn: cfg.schedule.day_tdn(0),
+            sample_every: SimDuration::from_micros(2),
+            cfg,
+        }
+    }
+
+    /// Create an emulator whose flows start at individual times: flow `i`
+    /// is constructed by `factory(i, specs[i].start)` when its start time
+    /// arrives. Used by the short-flow / staggered-arrival experiments.
+    pub fn new_staggered(
+        cfg: NetConfig,
+        specs: Vec<FlowSpec>,
+        factory: TimedEndpointFactory<'a>,
+    ) -> Self {
+        let n_flows = specs.len();
+        let rng = DetRng::new(cfg.seed);
+        let notify_model = NotifyModel::new(cfg.notify);
+        Emulator {
+            voq_ab: Voq::new("voq_ab", cfg.voq),
+            voq_ba: Voq::new("voq_ba", cfg.voq),
+            notify_model,
+            rng,
+            q: EventQueue::new(),
+            senders: (0..n_flows).map(|_| None).collect(),
+            receivers: (0..n_flows).map(|_| None).collect(),
+            timed_factory: Some(factory),
+            specs,
+            completions: vec![None; n_flows],
+            timer_slots: vec![[None, None]; n_flows],
+            nic_free: [SimTime::ZERO; 2],
+            service_pending: [false, false],
+            link_free_at: [SimTime::ZERO; 2],
+            active: None,
+            seq_series: TimeSeries::new("seq"),
+            day_records: Vec::new(),
+            prev_snapshot: vec![(ConnStats::new(), ConnStats::new()); n_flows],
+            prev_day: 0,
+            prev_day_tdn: cfg.schedule.day_tdn(0),
+            sample_every: SimDuration::from_micros(2),
+            cfg,
+        }
+    }
+
+    /// Override the sequence-series sampling interval.
+    pub fn set_sample_interval(&mut self, every: SimDuration) {
+        self.sample_every = every;
+    }
+
+    /// Run until `until` (or until every flow finishes). Consumes the
+    /// emulator and returns the collected results.
+    pub fn run(mut self, until: SimTime) -> RunResult {
+        self.q.schedule(SimTime::ZERO, Ev::DayStart { day: 0 });
+        self.q.schedule(SimTime::ZERO, Ev::Sample);
+        if self.timed_factory.is_some() {
+            for (i, spec) in self.specs.clone().iter().enumerate() {
+                self.q.schedule(spec.start, Ev::StartFlow { flow: i });
+            }
+        } else {
+            // Initial flush: SYNs queued by the factory go out at t = 0.
+            for i in 0..self.senders.len() {
+                self.flush(SimTime::ZERO, Side::A, i);
+                self.flush(SimTime::ZERO, Side::B, i);
+            }
+        }
+
+        while let Some((now, ev)) = self.q.pop() {
+            if now > until {
+                break;
+            }
+            match ev {
+                Ev::StartFlow { flow } => {
+                    let (s, r) = self
+                        .timed_factory
+                        .as_mut()
+                        .expect("staggered emulator")(flow, now);
+                    self.senders[flow] = Some(s);
+                    self.receivers[flow] = Some(r);
+                    self.flush(now, Side::A, flow);
+                    self.flush(now, Side::B, flow);
+                }
+                Ev::Arrive { side, flow, seg } => {
+                    if self.host_exists(side, flow) {
+                        self.host_mut(side, flow).on_segment(now, &seg);
+                        self.flush(now, side, flow);
+                        // The peer may now be able to send (window opened).
+                        self.flush(now, side.other(), flow);
+                    }
+                }
+                Ev::Enqueue { dir, seg } => {
+                    let voq = match dir {
+                        Dir::Ab => &mut self.voq_ab,
+                        Dir::Ba => &mut self.voq_ba,
+                    };
+                    if voq.enqueue(now, seg) {
+                        self.kick_service(now, dir);
+                    }
+                }
+                Ev::Service { dir } => {
+                    self.service_pending[dir.idx()] = false;
+                    self.service(now, dir);
+                }
+                Ev::DayStart { day } => self.on_day_start(now, day, until),
+                Ev::NightStart { day } => self.on_night_start(now, day),
+                Ev::Prepare => self.on_prepare(now),
+                Ev::Notify { side, flow, tdn } => {
+                    if self.host_exists(side, flow) {
+                        self.host_mut(side, flow).on_tdn_notification(now, tdn);
+                        self.flush(now, side, flow);
+                    }
+                }
+                Ev::HostTimer { side, flow } => {
+                    self.timer_slots[flow][side.idx()] = None;
+                    if self.host_exists(side, flow) {
+                        self.host_mut(side, flow).on_timer(now);
+                        self.flush(now, side, flow);
+                    }
+                }
+                Ev::Sample => {
+                    let acked: u64 = self
+                        .senders
+                        .iter()
+                        .flatten()
+                        .map(|s| s.stats().bytes_acked)
+                        .sum();
+                    self.seq_series.push(now, acked as f64);
+                    if now + self.sample_every <= until {
+                        self.q.schedule(now + self.sample_every, Ev::Sample);
+                    }
+                }
+            }
+            for (i, s) in self.senders.iter().enumerate() {
+                if let Some(s) = s {
+                    if s.is_done() && self.completions[i].is_none() {
+                        self.completions[i] = Some(now);
+                    }
+                }
+            }
+            let all_started = self.senders.iter().all(Option::is_some);
+            if all_started && self.senders.iter().flatten().all(|s| s.is_done()) {
+                break;
+            }
+        }
+
+        let duration = self.q.now().saturating_since(SimTime::ZERO);
+        RunResult {
+            seq_series: self.seq_series,
+            drops_ab: self.voq_ab.drops,
+            drops_ba: self.voq_ba.drops,
+            ce_marks_ab: self.voq_ab.ce_marks,
+            voq_ab: self.voq_ab.into_series(),
+            voq_ba: self.voq_ba.into_series(),
+            final_cwnds: self
+                .senders
+                .iter()
+                .map(|s| s.as_ref().map(|s| s.cwnd_report()).unwrap_or_default())
+                .collect(),
+            completions: self.completions.clone(),
+            sender_stats: self
+                .senders
+                .iter()
+                .map(|s| s.as_ref().map(|s| *s.stats()).unwrap_or_default())
+                .collect(),
+            receiver_stats: self
+                .receivers
+                .iter()
+                .map(|r| r.as_ref().map(|r| *r.stats()).unwrap_or_default())
+                .collect(),
+            day_records: self.day_records,
+            duration,
+            events: self.q.events_processed(),
+        }
+    }
+
+    fn host_mut(&mut self, side: Side, flow: usize) -> &mut (dyn Transport + 'a) {
+        match side {
+            Side::A => self.senders[flow].as_mut().expect("flow started").as_mut(),
+            Side::B => self.receivers[flow].as_mut().expect("flow started").as_mut(),
+        }
+    }
+
+    fn host_exists(&self, side: Side, flow: usize) -> bool {
+        match side {
+            Side::A => self.senders[flow].is_some(),
+            Side::B => self.receivers[flow].is_some(),
+        }
+    }
+
+    /// Drain a host's outgoing segments into its ToR VOQ, then re-arm its
+    /// timer event.
+    fn flush(&mut self, now: SimTime, side: Side, flow: usize) {
+        if !self.host_exists(side, flow) {
+            return;
+        }
+        loop {
+            let seg = match side {
+                Side::A => self.senders[flow].as_mut().expect("checked").poll_send(now),
+                Side::B => self.receivers[flow].as_mut().expect("checked").poll_send(now),
+            };
+            let Some(seg) = seg else { break };
+            let dir = match seg.dir {
+                Direction::DataPath => Dir::Ab,
+                Direction::AckPath => Dir::Ba,
+            };
+            // Serialize through the rack's shared uplink NIC: the segment
+            // reaches the ToR VOQ when its serialization completes.
+            let nic = &mut self.nic_free[side.idx()];
+            let start = (*nic).max(now);
+            let done = start
+                + SimDuration::serialization(u64::from(seg.wire_size()), self.cfg.host_rate_bps);
+            *nic = done;
+            self.q.schedule(done, Ev::Enqueue { dir, seg });
+        }
+        // Re-arm this host's timer.
+        let want = match side {
+            Side::A => self.senders[flow].as_ref().expect("checked").next_timer(),
+            Side::B => self.receivers[flow].as_ref().expect("checked").next_timer(),
+        }
+        .map(|t| t.max(now));
+        let slot = &mut self.timer_slots[flow][side.idx()];
+        if want != slot.map(|(t, _)| t) {
+            if let Some((_, id)) = slot.take() {
+                self.q.cancel(id);
+            }
+            if let Some(t) = want {
+                let id = self.q.schedule(t, Ev::HostTimer { side, flow });
+                *slot = Some((t, id));
+            }
+        }
+    }
+
+    fn kick_service(&mut self, now: SimTime, dir: Dir) {
+        if self.service_pending[dir.idx()] {
+            return;
+        }
+        let at = self.link_free_at[dir.idx()].max(now);
+        self.q.schedule(at, Ev::Service { dir });
+        self.service_pending[dir.idx()] = true;
+    }
+
+    fn service(&mut self, now: SimTime, dir: Dir) {
+        let Some(active) = self.active else { return };
+        let params = *self.cfg.tdn(active);
+        let mark = self.cfg.circuit_marking && active == self.cfg.circuit_tdn;
+        let voq = match dir {
+            Dir::Ab => &mut self.voq_ab,
+            Dir::Ba => &mut self.voq_ba,
+        };
+        let Some(mut seg) = voq.dequeue_eligible(now, Some(active)) else {
+            return;
+        };
+        if mark {
+            seg.circuit_mark = true;
+        }
+        let ser = SimDuration::serialization(u64::from(seg.wire_size()), params.rate_bps);
+        // In-network queueing jitter (per-packet, so it can reorder
+        // segments within a TDN and strand stragglers across transitions).
+        let jitter = match params.jitter {
+            Some((p, mean)) if self.rng.chance(p) => {
+                SimDuration::from_nanos(self.rng.exponential(mean.as_nanos() as f64) as u64)
+            }
+            _ => SimDuration::ZERO,
+        };
+        let arrive_at = now + ser + params.one_way + jitter;
+        let to_side = match dir {
+            Dir::Ab => Side::B,
+            Dir::Ba => Side::A,
+        };
+        let flow = seg.flow.0 as usize;
+        self.q.schedule(
+            arrive_at,
+            Ev::Arrive {
+                side: to_side,
+                flow,
+                seg,
+            },
+        );
+        self.link_free_at[dir.idx()] = now + ser;
+        if voq.has_eligible(Some(active)) {
+            self.q.schedule(now + ser, Ev::Service { dir });
+            self.service_pending[dir.idx()] = true;
+        }
+    }
+
+    fn on_day_start(&mut self, now: SimTime, day: u64, until: SimTime) {
+        // Record the finished day (if any) for Fig. 10.
+        if day > 0 {
+            self.record_day(day - 1);
+        }
+        let tdn = self.cfg.schedule.day_tdn(day);
+        self.active = Some(tdn);
+        self.prev_day = day;
+        self.prev_day_tdn = tdn;
+
+        // Notifications to every host.
+        if self.cfg.notifications {
+            for flow in 0..self.senders.len() {
+                for side in [Side::A, Side::B] {
+                    let lat = self.notify_model.sample(&mut self.rng, flow).total();
+                    self.q.schedule(now + lat, Ev::Notify { side, flow, tdn });
+                }
+            }
+        }
+
+        // retcpdyn: schedule the prepare lead for the *next* circuit day.
+        if let Some(dyncfg) = self.cfg.retcpdyn {
+            let next = day + 1;
+            if self.cfg.schedule.day_tdn(next) == self.cfg.circuit_tdn {
+                let at = self.cfg.schedule.day_start(next) - dyncfg.prepare_lead;
+                if at >= now && at <= until {
+                    self.q.schedule(at, Ev::Prepare);
+                }
+            }
+        }
+
+        self.q.schedule(now + self.cfg.schedule.day_len, Ev::NightStart { day });
+        self.kick_service(now, Dir::Ab);
+        self.kick_service(now, Dir::Ba);
+    }
+
+    fn on_night_start(&mut self, now: SimTime, day: u64) {
+        self.active = None;
+        // A circuit day just ended: restore the VOQ cap (retcpdyn).
+        if self.cfg.retcpdyn.is_some() && self.cfg.schedule.day_tdn(day) == self.cfg.circuit_tdn {
+            self.voq_ab.reset_cap();
+            self.voq_ba.reset_cap();
+        }
+        self.q
+            .schedule(now + self.cfg.schedule.night_len, Ev::DayStart { day: day + 1 });
+    }
+
+    fn on_prepare(&mut self, now: SimTime) {
+        let cap = self.cfg.retcpdyn.expect("prepare only with retcpdyn").enlarged_cap;
+        self.voq_ab.set_cap(cap);
+        self.voq_ba.set_cap(cap);
+        for flow in 0..self.senders.len() {
+            if let Some(s) = self.senders[flow].as_mut() {
+                s.on_circuit_prepare(now);
+                self.flush(now, Side::A, flow);
+            }
+        }
+    }
+
+    fn record_day(&mut self, day: u64) {
+        let mut rec = DayRecord {
+            day,
+            tdn: self.cfg.schedule.day_tdn(day),
+            reorder_events: 0,
+            reorder_marked_pkts: 0,
+            retransmits: 0,
+            spurious_retransmits: 0,
+        };
+        for (i, snap) in self.prev_snapshot.iter_mut().enumerate() {
+            let (Some(snd), Some(rcv)) = (&self.senders[i], &self.receivers[i]) else {
+                continue;
+            };
+            let s = *snd.stats();
+            let r = *rcv.stats();
+            rec.reorder_events += s.reorder_events - snap.0.reorder_events;
+            rec.reorder_marked_pkts += s.reorder_marked_pkts - snap.0.reorder_marked_pkts;
+            rec.retransmits += s.retransmits - snap.0.retransmits;
+            rec.spurious_retransmits += r.spurious_retransmits - snap.1.spurious_retransmits;
+            *snap = (s, r);
+        }
+        self.day_records.push(rec);
+    }
+}
+
+impl Side {
+    fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+    fn idx(self) -> usize {
+        match self {
+            Side::A => 0,
+            Side::B => 1,
+        }
+    }
+}
+
+impl Dir {
+    fn idx(self) -> usize {
+        match self {
+            Dir::Ab => 0,
+            Dir::Ba => 1,
+        }
+    }
+}

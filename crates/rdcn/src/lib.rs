@@ -1,0 +1,26 @@
+//! # rdcn — the reconfigurable data center network substrate
+//!
+//! A deterministic emulation of the paper's Etalon testbed (§5.1): the
+//! demand-oblivious rotor [`schedule`], ToR virtual output queues
+//! ([`voq`]) with ECN marking, circuit marking and runtime resizing, the
+//! ToR-generated TDN-change [`notify`] latency model with the three §5.4
+//! optimizations, analytic reference curves ([`analytic`]), and the
+//! [`emulator`] that drives any [`tcp::Transport`] implementation over the
+//! emulated fabric.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod config;
+pub mod emulator;
+pub mod multirack;
+pub mod notify;
+pub mod schedule;
+pub mod voq;
+
+pub use config::{NetConfig, RetcpDynConfig, TdnParams};
+pub use emulator::{DayRecord, Emulator, EndpointFactory, FlowSpec, RunResult, TimedEndpointFactory};
+pub use multirack::{MultiRackConfig, MultiRackEmulator, MultiRackResult, PairFlow};
+pub use notify::{NotifyConfig, NotifyModel, NotifySample};
+pub use schedule::{Phase, Schedule};
+pub use voq::{Voq, VoqConfig};

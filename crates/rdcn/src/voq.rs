@@ -1,0 +1,293 @@
+//! The ToR virtual output queue (VOQ).
+//!
+//! Etalon emulates one VOQ per rack per direction (§5.1); it tail-drops at
+//! a configurable cap (16 jumbo frames in the baseline), optionally marks
+//! ECN above a threshold (DCTCP), and supports runtime resizing (the
+//! "retcpdyn" variant enlarges it to 50 packets 150 µs before a circuit
+//! day). MPTCP subflow segments are *pinned* to a TDN and may only be
+//! serviced while that TDN is active; the service scan skips over them
+//! otherwise, preserving FIFO order within each pin class.
+
+use simcore::{Gauge, SimTime};
+use tcp::Segment;
+use wire::{Ecn, TdnId};
+use std::collections::VecDeque;
+
+/// VOQ configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VoqConfig {
+    /// Capacity in packets (tail drop beyond).
+    pub cap_pkts: usize,
+    /// ECN marking threshold in packets (mark CE when occupancy at
+    /// enqueue is at or above this), if ECN is in use.
+    pub ecn_threshold: Option<usize>,
+}
+
+impl Default for VoqConfig {
+    fn default() -> Self {
+        VoqConfig {
+            cap_pkts: 16,
+            ecn_threshold: Some(8),
+        }
+    }
+}
+
+/// One direction's virtual output queue.
+#[derive(Debug)]
+pub struct Voq {
+    q: VecDeque<Segment>,
+    cap: usize,
+    base_cap: usize,
+    ecn_k: Option<usize>,
+    /// Occupancy over time, the raw series behind Figs. 7b/8b/13/14.
+    gauge: Gauge,
+    /// Tail drops.
+    pub drops: u64,
+    /// Total enqueues accepted.
+    pub enqueued: u64,
+    /// CE marks applied.
+    pub ce_marks: u64,
+}
+
+impl Voq {
+    /// New VOQ with the given config; `name` labels its trace series.
+    pub fn new(name: impl Into<String>, cfg: VoqConfig) -> Self {
+        Voq {
+            q: VecDeque::new(),
+            cap: cfg.cap_pkts,
+            base_cap: cfg.cap_pkts,
+            ecn_k: cfg.ecn_threshold,
+            gauge: Gauge::new(name, 0.0),
+            drops: 0,
+            enqueued: 0,
+            ce_marks: 0,
+        }
+    }
+
+    /// Current occupancy in packets.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Current capacity in packets.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Resize at runtime (retcpdyn). Shrinking below the current
+    /// occupancy does not drop queued packets — they drain normally, the
+    /// cap only gates new arrivals (matching Etalon's behaviour).
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Restore the configured base capacity.
+    pub fn reset_cap(&mut self) {
+        self.cap = self.base_cap;
+    }
+
+    /// Offer a segment. Returns `false` on tail drop.
+    ///
+    /// Capacity (and the ECN threshold) applies *per pin class*: pinned
+    /// traffic physically queues at its own ToR uplink port (EPS vs OCS),
+    /// so TDN-pinned MPTCP subflows cannot starve each other or unpinned
+    /// traffic out of buffer space. Single-path variants (all unpinned)
+    /// see exactly one 16-packet queue.
+    pub fn enqueue(&mut self, now: SimTime, mut seg: Segment) -> bool {
+        let class_len = self.q.iter().filter(|s| s.pin == seg.pin).count();
+        if class_len >= self.cap {
+            self.drops += 1;
+            return false;
+        }
+        if let Some(k) = self.ecn_k {
+            if class_len >= k && seg.ecn.is_capable() {
+                seg.ecn = Ecn::Ce;
+                self.ce_marks += 1;
+            }
+        }
+        self.q.push_back(seg);
+        self.enqueued += 1;
+        self.gauge.set(now, self.q.len() as f64);
+        true
+    }
+
+    /// Dequeue the first segment eligible under `active`: unpinned
+    /// segments are always eligible; pinned segments only when their pin
+    /// matches the active TDN. Returns `None` during blackouts
+    /// (`active = None` never services anything: time division is strict,
+    /// §2.1).
+    pub fn dequeue_eligible(&mut self, now: SimTime, active: Option<TdnId>) -> Option<Segment> {
+        let active = active?;
+        let idx = self
+            .q
+            .iter()
+            .position(|s| s.pin.is_none_or(|p| p == active))?;
+        let seg = self.q.remove(idx).expect("index in range");
+        self.gauge.set(now, self.q.len() as f64);
+        Some(seg)
+    }
+
+    /// Whether any segment is eligible under `active`.
+    pub fn has_eligible(&self, active: Option<TdnId>) -> bool {
+        match active {
+            None => false,
+            Some(a) => self.q.iter().any(|s| s.pin.is_none_or(|p| p == a)),
+        }
+    }
+
+    /// The occupancy trace.
+    pub fn series(&self) -> &simcore::TimeSeries {
+        self.gauge.series()
+    }
+
+    /// Consume, returning the occupancy trace.
+    pub fn into_series(self) -> simcore::TimeSeries {
+        self.gauge.into_series()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp::{Direction, FlowId};
+
+    fn seg(pin: Option<u8>, ecn: bool) -> Segment {
+        let mut s = Segment::new(FlowId(0), Direction::DataPath);
+        s.len = 1000;
+        s.ecn = if ecn { Ecn::Ect0 } else { Ecn::NotEct };
+        s.pin = pin.map(TdnId);
+        s
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn fifo_order_unpinned() {
+        let mut v = Voq::new("q", VoqConfig::default());
+        for i in 0..3u32 {
+            let mut s = seg(None, false);
+            s.seq = tcp::SeqNum(i * 1000);
+            assert!(v.enqueue(t(i as u64), s));
+        }
+        assert_eq!(v.len(), 3);
+        let a = v.dequeue_eligible(t(5), Some(TdnId(0))).unwrap();
+        assert_eq!(a.seq, tcp::SeqNum(0));
+        let b = v.dequeue_eligible(t(6), Some(TdnId(1))).unwrap();
+        assert_eq!(b.seq, tcp::SeqNum(1000), "unpinned serves on any TDN");
+    }
+
+    #[test]
+    fn tail_drop_at_cap() {
+        let mut v = Voq::new(
+            "q",
+            VoqConfig {
+                cap_pkts: 2,
+                ecn_threshold: None,
+            },
+        );
+        assert!(v.enqueue(t(0), seg(None, false)));
+        assert!(v.enqueue(t(0), seg(None, false)));
+        assert!(!v.enqueue(t(0), seg(None, false)), "third is dropped");
+        assert_eq!(v.drops, 1);
+        assert_eq!(v.enqueued, 2);
+    }
+
+    #[test]
+    fn ecn_marking_above_threshold() {
+        let mut v = Voq::new(
+            "q",
+            VoqConfig {
+                cap_pkts: 16,
+                ecn_threshold: Some(2),
+            },
+        );
+        v.enqueue(t(0), seg(None, true));
+        v.enqueue(t(0), seg(None, true));
+        v.enqueue(t(0), seg(None, true)); // occupancy 2 at enqueue -> mark
+        assert_eq!(v.ce_marks, 1);
+        v.dequeue_eligible(t(1), Some(TdnId(0)));
+        v.dequeue_eligible(t(1), Some(TdnId(0)));
+        let marked = v.dequeue_eligible(t(1), Some(TdnId(0))).unwrap();
+        assert_eq!(marked.ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn not_ect_never_marked() {
+        let mut v = Voq::new(
+            "q",
+            VoqConfig {
+                cap_pkts: 16,
+                ecn_threshold: Some(0),
+            },
+        );
+        v.enqueue(t(0), seg(None, false));
+        let s = v.dequeue_eligible(t(1), Some(TdnId(0))).unwrap();
+        assert_eq!(s.ecn, Ecn::NotEct);
+        assert_eq!(v.ce_marks, 0);
+    }
+
+    #[test]
+    fn pinned_segments_wait_for_their_tdn() {
+        let mut v = Voq::new("q", VoqConfig::default());
+        v.enqueue(t(0), seg(Some(1), false)); // optical-pinned at head
+        v.enqueue(t(0), seg(Some(0), false));
+        // Packet day: the head is ineligible, the second serves.
+        let s = v.dequeue_eligible(t(1), Some(TdnId(0))).unwrap();
+        assert_eq!(s.pin, Some(TdnId(0)));
+        assert_eq!(v.len(), 1);
+        // Still packet day: nothing eligible.
+        assert!(v.dequeue_eligible(t(2), Some(TdnId(0))).is_none());
+        assert!(v.has_eligible(Some(TdnId(1))));
+        let s = v.dequeue_eligible(t(3), Some(TdnId(1))).unwrap();
+        assert_eq!(s.pin, Some(TdnId(1)));
+    }
+
+    #[test]
+    fn blackout_services_nothing() {
+        let mut v = Voq::new("q", VoqConfig::default());
+        v.enqueue(t(0), seg(None, false));
+        assert!(v.dequeue_eligible(t(1), None).is_none());
+        assert!(!v.has_eligible(None));
+        assert_eq!(v.len(), 1, "segment held through the night");
+    }
+
+    #[test]
+    fn runtime_resize() {
+        let mut v = Voq::new(
+            "q",
+            VoqConfig {
+                cap_pkts: 2,
+                ecn_threshold: None,
+            },
+        );
+        v.enqueue(t(0), seg(None, false));
+        v.enqueue(t(0), seg(None, false));
+        assert!(!v.enqueue(t(0), seg(None, false)));
+        v.set_cap(50);
+        assert!(v.enqueue(t(1), seg(None, false)), "enlarged cap admits");
+        v.reset_cap();
+        assert_eq!(v.cap(), 2);
+        // Over-occupied after shrink: drains without dropping queued.
+        assert_eq!(v.len(), 3);
+        assert!(!v.enqueue(t(2), seg(None, false)), "but admits nothing new");
+    }
+
+    #[test]
+    fn gauge_tracks_occupancy() {
+        let mut v = Voq::new("q", VoqConfig::default());
+        v.enqueue(t(1), seg(None, false));
+        v.enqueue(t(2), seg(None, false));
+        v.dequeue_eligible(t(3), Some(TdnId(0)));
+        let pts = v.series().points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].1, 2.0);
+        assert_eq!(pts[2].1, 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests on the RDCN substrate: schedule total-coverage laws,
+//! rotor matching completeness, VOQ conservation, and analytic-curve
+//! monotonicity.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rdcn::schedule::rotor;
+use rdcn::{analytic, NetConfig, Schedule, Voq, VoqConfig};
+use simcore::{SimDuration, SimTime};
+use tcp::{Direction, FlowId, Segment};
+use wire::TdnId;
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    (
+        1u64..1_000,                      // day_len us
+        1u64..200,                        // night_len us
+        vec(0u8..4, 1..10),               // day TDNs
+    )
+        .prop_map(|(d, n, days)| Schedule {
+            day_len: SimDuration::from_micros(d),
+            night_len: SimDuration::from_micros(n),
+            days: days.into_iter().map(TdnId).collect(),
+        })
+}
+
+proptest! {
+    /// phase_at and day_number agree at every instant: the phase's day
+    /// index matches the schedule layout, and phase ends are in the
+    /// future.
+    #[test]
+    fn schedule_phase_consistency(s in arb_schedule(), t_us in 0u64..10_000_000) {
+        let t = SimTime::from_micros(t_us);
+        let phase = s.phase_at(t);
+        prop_assert!(phase.ends() > t);
+        match phase {
+            rdcn::Phase::Day { index, tdn, started, ends } => {
+                prop_assert!(started <= t);
+                prop_assert_eq!(ends.saturating_since(started), s.day_len);
+                prop_assert_eq!(s.days[index], tdn);
+            }
+            rdcn::Phase::Night { next_tdn, ends } => {
+                // The announced TDN is the one actually active right after.
+                let after = s.phase_at(ends);
+                prop_assert_eq!(after.active(), Some(next_tdn));
+            }
+        }
+    }
+
+    /// Per-TDN uptimes sum to the total active time of a week.
+    #[test]
+    fn schedule_uptime_partition(s in arb_schedule()) {
+        let total: u64 = (0..s.num_tdns())
+            .map(|i| s.uptime_per_week(TdnId(i as u8)).as_nanos())
+            .sum();
+        prop_assert_eq!(total, s.day_len.as_nanos() * s.days.len() as u64);
+    }
+
+    /// Rotor matchings connect every pair exactly once for any even rack
+    /// count.
+    #[test]
+    fn rotor_complete_coverage(half in 1usize..12) {
+        let n = half * 2;
+        let ms = rotor::matchings(n);
+        prop_assert_eq!(ms.len(), n - 1);
+        let mut count = vec![vec![0u32; n]; n];
+        for m in &ms {
+            for &(a, b) in m {
+                count[a][b] += 1;
+                count[b][a] += 1;
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    prop_assert_eq!(count[a][b], 1, "pair ({},{})", a, b);
+                }
+            }
+        }
+    }
+
+    /// VOQ conservation: accepted = dequeued + still queued, per-class
+    /// occupancy never exceeds the cap, and FIFO order holds per class.
+    #[test]
+    fn voq_conservation(
+        ops in vec((0u8..3, 0u8..2), 1..200),
+        cap in 1usize..20,
+    ) {
+        let mut v = Voq::new("p", VoqConfig { cap_pkts: cap, ecn_threshold: None });
+        let mut accepted = 0u64;
+        let mut dequeued = 0u64;
+        let mut seq_counter = 0u32;
+        let mut last_out: std::collections::HashMap<Option<TdnId>, u32> =
+            std::collections::HashMap::new();
+        let mut t = 0u64;
+        for (op, tdn) in ops {
+            t += 1;
+            let now = SimTime::from_micros(t);
+            match op {
+                0 | 1 => {
+                    let mut s = Segment::new(FlowId(0), Direction::DataPath);
+                    s.len = 100;
+                    s.seq = tcp::SeqNum(seq_counter);
+                    seq_counter += 1;
+                    s.pin = (op == 1).then_some(TdnId(tdn));
+                    if v.enqueue(now, s) {
+                        accepted += 1;
+                    }
+                }
+                _ => {
+                    if let Some(s) = v.dequeue_eligible(now, Some(TdnId(tdn))) {
+                        dequeued += 1;
+                        // FIFO within the segment's own class.
+                        let k = s.pin;
+                        if let Some(&prev) = last_out.get(&k) {
+                            prop_assert!(s.seq.0 > prev, "per-class FIFO");
+                        }
+                        last_out.insert(k, s.seq.0);
+                    }
+                }
+            }
+            prop_assert!(v.len() as u64 == accepted - dequeued);
+        }
+        prop_assert_eq!(v.enqueued, accepted);
+    }
+
+    /// The analytic optimal curve is monotone and bounded by the fastest
+    /// TDN's rate.
+    #[test]
+    fn optimal_curve_monotone(t1 in 0u64..5_000, dt in 1u64..5_000) {
+        let cfg = NetConfig::paper_baseline();
+        let a = analytic::optimal_bytes(&cfg, SimTime::from_micros(t1));
+        let b = analytic::optimal_bytes(&cfg, SimTime::from_micros(t1 + dt));
+        prop_assert!(b >= a);
+        let max_rate_bytes_per_us = 100_000_000_000.0 / 8.0 / 1e6;
+        prop_assert!(b - a <= (dt as f64 + 1.0) * max_rate_bytes_per_us);
+    }
+}

@@ -1,0 +1,252 @@
+//! Deterministic discrete-event queue.
+//!
+//! The queue is a binary heap keyed on `(time, seq)` where `seq` is a
+//! monotonically increasing insertion counter. The counter makes the pop
+//! order total: two events scheduled for the same instant are delivered in
+//! the order they were scheduled. This is what makes whole-simulation runs
+//! reproducible bit-for-bit from a seed, which the test suite relies on.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-queue of timestamped events with deterministic FIFO tie-breaking
+/// and lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    /// Seqs scheduled but not yet fired or cancelled. Lets `cancel` answer
+    /// accurately (and without leaking) whether the event was still live.
+    live: std::collections::HashSet<u64>,
+    /// Seqs cancelled while live; their heap entries are discarded on pop.
+    cancelled: std::collections::HashSet<u64>,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (a cheap progress/perf counter).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `time` is in the past — scheduling into
+    /// the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventId {
+        debug_assert!(
+            time >= self.now,
+            "scheduled event at {time} but clock is already at {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { time, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (or been cancelled). Cancellation is lazy: the entry
+    /// stays in the heap and is discarded when popped.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.live.remove(&entry.seq);
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain dead entries off the top so the peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = self.heap.pop().expect("peeked entry vanished").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Whether any live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Count of entries including not-yet-collected cancelled ones.
+    pub fn raw_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), "c");
+        q.schedule(SimTime::from_micros(10), "a");
+        q.schedule(SimTime::from_micros(20), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.schedule(SimTime::from_micros(10), ());
+        q.schedule(SimTime::from_micros(25), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
+            last = t;
+        }
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        let b = q.schedule(SimTime::from_micros(2), "b");
+        q.schedule(SimTime::from_micros(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(!q.cancel(a), "cancel after fire reports false");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        // Simulates the common pattern: handling an event schedules more.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), 0u32);
+        let mut seen = vec![];
+        while let Some((t, k)) = q.pop() {
+            seen.push(k);
+            if k < 5 {
+                q.schedule(t + SimDuration::from_micros(1), k + 1);
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock is already")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), ());
+        q.pop();
+        q.schedule(SimTime::from_micros(5), ());
+    }
+}

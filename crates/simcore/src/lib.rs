@@ -1,0 +1,27 @@
+//! # simcore — deterministic discrete-event simulation kernel
+//!
+//! The foundation of the TDTCP reproduction: simulated time
+//! ([`SimTime`]/[`SimDuration`]), a deterministic event queue
+//! ([`EventQueue`]) with FIFO tie-breaking and cancellation, an explicitly
+//! seeded RNG ([`DetRng`]), and the statistics/tracing types the evaluation
+//! harness uses to regenerate the paper's figures ([`Cdf`], [`TimeSeries`],
+//! [`Gauge`]).
+//!
+//! Design follows the event-driven, no-surprises style of smoltcp: the
+//! simulation is single-threaded and synchronous; simulated time — not
+//! wall-clock I/O — drives all progress, so runs are reproducible
+//! bit-for-bit from a seed.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventId, EventQueue};
+pub use rng::DetRng;
+pub use stats::{Cdf, Histogram, Welford};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Gauge, TimeSeries};

@@ -1,0 +1,308 @@
+//! Statistics used by the evaluation harness: empirical CDFs and
+//! percentiles (Fig. 10, §5.4 latency breakdowns), streaming mean/variance,
+//! and fixed-width histograms.
+
+/// Collects samples and answers percentile / CDF queries.
+///
+/// Samples are kept unsorted and sorted lazily on query, so insertion is
+/// O(1) and bulk querying after a run is cheap.
+#[derive(Debug, Clone, Default)]
+pub struct Cdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Cdf {
+    /// New, empty collector.
+    pub fn new() -> Self {
+        Cdf::default()
+    }
+
+    /// Add one sample. Non-finite samples are rejected with a panic — they
+    /// indicate an upstream arithmetic bug, never valid data.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite sample {x}");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+    }
+
+    /// The p-th percentile (`p` in `[0, 100]`) using nearest-rank.
+    /// Returns `None` when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1).min(n - 1)])
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.samples.last().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Empirical CDF value at `x`: fraction of samples `<= x`.
+    pub fn fraction_le(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&s| s <= x);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// The full CDF as `(value, cumulative fraction)` steps, suitable for
+    /// plotting. Duplicate values are merged into a single step.
+    pub fn steps(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.samples.iter().enumerate() {
+            let frac = (i + 1) as f64 / n as f64;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = frac,
+                _ => out.push((v, frac)),
+            }
+        }
+        out
+    }
+}
+
+/// Welford's streaming mean and variance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Incorporate one sample.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Sample count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with overflow/underflow buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `n` equal buckets.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo && n > 0);
+        Histogram {
+            lo,
+            width: (hi - lo) / n as f64,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add one sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x - self.lo) / self.width) as usize;
+        if idx >= self.buckets.len() {
+            self.overflow += 1;
+        } else {
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Count of samples below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above the top of the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut c = Cdf::new();
+        for i in 1..=100 {
+            c.add(i as f64);
+        }
+        assert_eq!(c.percentile(50.0), Some(50.0));
+        assert_eq!(c.percentile(90.0), Some(90.0));
+        assert_eq!(c.percentile(99.0), Some(99.0));
+        assert_eq!(c.percentile(100.0), Some(100.0));
+        assert_eq!(c.percentile(0.0), Some(1.0));
+        assert_eq!(c.min(), Some(1.0));
+        assert_eq!(c.max(), Some(100.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.percentile(50.0), None);
+        assert_eq!(c.mean(), None);
+        assert_eq!(c.fraction_le(1.0), 0.0);
+        assert!(c.steps().is_empty());
+    }
+
+    #[test]
+    fn fraction_le_and_steps() {
+        let mut c = Cdf::new();
+        for x in [0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 2.0, 3.0, 4.0, 5.0] {
+            c.add(x);
+        }
+        assert!((c.fraction_le(0.0) - 0.4).abs() < 1e-12);
+        assert!((c.fraction_le(2.0) - 0.7).abs() < 1e-12);
+        assert!((c.fraction_le(10.0) - 1.0).abs() < 1e-12);
+        assert!((c.fraction_le(-1.0) - 0.0).abs() < 1e-12);
+        let steps = c.steps();
+        assert_eq!(steps[0], (0.0, 0.4));
+        assert_eq!(*steps.last().unwrap(), (5.0, 1.0));
+    }
+
+    #[test]
+    fn add_after_query_resorts() {
+        let mut c = Cdf::new();
+        c.add(5.0);
+        assert_eq!(c.percentile(50.0), Some(5.0));
+        c.add(1.0);
+        assert_eq!(c.min(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        Cdf::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.add(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of that set is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_degenerate() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.add(3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.stddev(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 100.0] {
+            h.add(x);
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.buckets()[0], 2);
+        assert_eq!(h.buckets()[5], 1);
+        assert_eq!(h.buckets()[9], 1);
+        assert_eq!(h.total(), 7);
+    }
+}

@@ -1,0 +1,237 @@
+//! Time-series tracing for the figure harness.
+//!
+//! Every figure in the paper is either a time series (sequence graphs,
+//! VOQ occupancy) or a CDF. [`TimeSeries`] records `(time, value)` points;
+//! helpers resample onto a fixed grid so several variants can be printed
+//! side by side, and average a periodic signal over its period (the paper
+//! averages "across thousands of optical weeks" for Fig. 2).
+
+use crate::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// A named series of `(time, value)` samples, non-decreasing in time.
+#[derive(Debug, Clone, Serialize)]
+pub struct TimeSeries {
+    /// Display name, e.g. `"tdtcp"` or `"voq_len"`.
+    pub name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+// SimTime serializes as its nanosecond count.
+impl Serialize for SimTime {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(self.as_nanos())
+    }
+}
+
+impl TimeSeries {
+    /// New, empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Record a sample. Time must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(lt, _)| t >= lt),
+            "time series {} went backwards",
+            self.name
+        );
+        self.points.push((t, v));
+    }
+
+    /// Raw samples.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last recorded value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Step-function value at time `t`: the most recent sample at or before
+    /// `t`, or `default` if none exists yet.
+    pub fn value_at(&self, t: SimTime, default: f64) -> f64 {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => default,
+            i => self.points[i - 1].1,
+        }
+    }
+
+    /// Resample onto a fixed grid `[start, end)` with the given step,
+    /// returning one value per grid point (step-function semantics).
+    pub fn resample(&self, start: SimTime, end: SimTime, step: SimDuration, default: f64) -> Vec<f64> {
+        assert!(step > SimDuration::ZERO);
+        let mut out = Vec::new();
+        let mut t = start;
+        while t < end {
+            out.push(self.value_at(t, default));
+            t += step;
+        }
+        out
+    }
+
+    /// Average this series over a repeating period: fold all samples in
+    /// `[start, end)` into one period of length `period` sampled every
+    /// `step`, averaging across repetitions. The value at phase `p` of the
+    /// result is the mean of `value_at(start + k*period + p)` over all
+    /// complete periods `k`. This mirrors the paper's "averaged across
+    /// thousands of optical weeks" sequence graphs when applied to
+    /// per-period-normalized values.
+    pub fn fold_periodic(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        period: SimDuration,
+        step: SimDuration,
+        default: f64,
+    ) -> Vec<f64> {
+        assert!(period > SimDuration::ZERO && step > SimDuration::ZERO);
+        let span = end.saturating_since(start);
+        let reps = (span.as_nanos() / period.as_nanos()).max(1);
+        let bins = (period.as_nanos() / step.as_nanos()) as usize;
+        let mut acc = vec![0.0; bins];
+        for k in 0..reps {
+            let base = start + period * k;
+            for (b, slot) in acc.iter_mut().enumerate() {
+                let t = base + step * b as u64;
+                *slot += self.value_at(t, default);
+            }
+        }
+        for slot in &mut acc {
+            *slot /= reps as f64;
+        }
+        acc
+    }
+}
+
+/// A counter sampled as a series: tracks a current value and records every
+/// change; convenient for queue lengths and outstanding-packet gauges.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    series: TimeSeries,
+    value: f64,
+}
+
+impl Gauge {
+    /// New gauge starting at `initial`.
+    pub fn new(name: impl Into<String>, initial: f64) -> Self {
+        Gauge {
+            series: TimeSeries::new(name),
+            value: initial,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Set the value at time `t`, recording the change.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        self.value = v;
+        self.series.push(t, v);
+    }
+
+    /// Add `dv` (may be negative) at time `t`.
+    pub fn add(&mut self, t: SimTime, dv: f64) {
+        self.set(t, self.value + dv);
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Consume the gauge, returning its series.
+    pub fn into_series(self) -> TimeSeries {
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(x: u64) -> SimTime {
+        SimTime::from_micros(x)
+    }
+
+    #[test]
+    fn value_at_step_semantics() {
+        let mut s = TimeSeries::new("s");
+        s.push(us(10), 1.0);
+        s.push(us(20), 2.0);
+        assert_eq!(s.value_at(us(5), 0.0), 0.0);
+        assert_eq!(s.value_at(us(10), 0.0), 1.0);
+        assert_eq!(s.value_at(us(15), 0.0), 1.0);
+        assert_eq!(s.value_at(us(20), 0.0), 2.0);
+        assert_eq!(s.value_at(us(99), 0.0), 2.0);
+        assert_eq!(s.last_value(), Some(2.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut s = TimeSeries::new("s");
+        s.push(us(0), 0.0);
+        s.push(us(10), 10.0);
+        s.push(us(30), 30.0);
+        let v = s.resample(us(0), us(40), SimDuration::from_micros(10), -1.0);
+        assert_eq!(v, vec![0.0, 10.0, 10.0, 30.0]);
+    }
+
+    #[test]
+    fn fold_periodic_averages() {
+        // Square wave with period 20us: 0 for [0,10), 4 for [10,20), repeated;
+        // second period uses 2 and 6 so the fold should average to 1 and 5.
+        let mut s = TimeSeries::new("w");
+        s.push(us(0), 0.0);
+        s.push(us(10), 4.0);
+        s.push(us(20), 2.0);
+        s.push(us(30), 6.0);
+        let folded = s.fold_periodic(
+            us(0),
+            us(40),
+            SimDuration::from_micros(20),
+            SimDuration::from_micros(10),
+            0.0,
+        );
+        assert_eq!(folded, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn gauge_records_changes() {
+        let mut g = Gauge::new("q", 0.0);
+        g.add(us(1), 3.0);
+        g.add(us(2), -1.0);
+        g.set(us(3), 7.0);
+        assert_eq!(g.value(), 7.0);
+        let s = g.into_series();
+        assert_eq!(
+            s.points(),
+            &[(us(1), 3.0), (us(2), 2.0), (us(3), 7.0)]
+        );
+    }
+
+    #[test]
+    fn empty_series_defaults() {
+        let s = TimeSeries::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.value_at(us(5), 42.0), 42.0);
+        assert_eq!(s.last_value(), None);
+    }
+}

@@ -1,0 +1,60 @@
+//! The congestion-avoidance state machine (Linux `tcp_ca_state`).
+//!
+//! TDTCP duplicates this per TDN (Fig. 4): each TDN independently moves
+//! between Open, Disorder, Recovery, and Loss, so one TDN can be probing
+//! at full speed while another recovers from a loss.
+
+use core::fmt;
+
+/// Linux-style congestion state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaState {
+    /// Normal operation, no anomalies.
+    #[default]
+    Open,
+    /// Out-of-order evidence seen (dupACKs/SACK) but below the loss
+    /// threshold.
+    Disorder,
+    /// Fast recovery: retransmitting presumed-lost segments.
+    Recovery,
+    /// RTO fired; conservative slow-start recovery.
+    Loss,
+}
+
+impl CaState {
+    /// Whether the sender is in either recovery mode.
+    pub fn in_recovery(self) -> bool {
+        matches!(self, CaState::Recovery | CaState::Loss)
+    }
+}
+
+impl fmt::Display for CaState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CaState::Open => "open",
+            CaState::Disorder => "disorder",
+            CaState::Recovery => "recovery",
+            CaState::Loss => "loss",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_open() {
+        assert_eq!(CaState::default(), CaState::Open);
+        assert!(!CaState::Open.in_recovery());
+        assert!(!CaState::Disorder.in_recovery());
+        assert!(CaState::Recovery.in_recovery());
+        assert!(CaState::Loss.in_recovery());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CaState::Recovery.to_string(), "recovery");
+    }
+}

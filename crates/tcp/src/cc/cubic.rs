@@ -1,0 +1,259 @@
+//! CUBIC congestion control (RFC 8312), the Linux default and the CCA the
+//! paper's TDTCP implementation runs inside every TDN.
+//!
+//! The window grows as `W(t) = C·(t − K)³ + W_max` where `t` is time since
+//! the last congestion event, `K = ∛(W_max·β/C)` and `β = 0.3` (decrease
+//! factor 0.7). A Reno-friendly region keeps CUBIC at least as aggressive
+//! as AIMD at small windows/short RTTs — which matters here, since data
+//! center RTTs put CUBIC deep in its TCP-friendly region.
+
+use super::{AckEvent, CcConfig, CongestionControl};
+use simcore::{SimDuration, SimTime};
+
+const BETA: f64 = 0.7; // multiplicative decrease factor
+const C: f64 = 0.4; // cubic scaling constant (segments/sec^3)
+
+/// CUBIC congestion control.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    cfg: CcConfig,
+    cwnd: u32,
+    ssthresh: u32,
+    /// Window size (bytes) just before the last reduction.
+    w_max: f64,
+    /// Start of the current cubic epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset of the plateau, seconds.
+    k: f64,
+    /// Reno-friendly window estimate (bytes).
+    w_est: f64,
+    /// Bytes acked since epoch start (drives w_est).
+    acked_since_epoch: u64,
+}
+
+impl Cubic {
+    /// New instance with `cfg`.
+    pub fn new(cfg: CcConfig) -> Self {
+        Cubic {
+            cfg,
+            cwnd: cfg.initial_cwnd(),
+            ssthresh: cfg.max_cwnd,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            acked_since_epoch: 0,
+        }
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn mss_f(&self) -> f64 {
+        self.cfg.mss as f64
+    }
+
+    /// Cubic target window at time `now` (bytes).
+    fn w_cubic(&self, now: SimTime) -> f64 {
+        let t = now
+            .checked_since(self.epoch_start.expect("epoch set"))
+            .unwrap_or(SimDuration::ZERO)
+            .as_secs_f64();
+        let dt = t - self.k;
+        // C is in segments/s^3; convert to bytes.
+        C * self.mss_f() * dt * dt * dt + self.w_max
+    }
+
+    fn start_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        if self.w_max > self.cwnd as f64 {
+            // Fast convergence left w_max above cwnd; K from the gap.
+            self.k = (((self.w_max - self.cwnd as f64) / self.mss_f()) / C).cbrt();
+        } else {
+            self.w_max = self.cwnd as f64;
+            self.k = 0.0;
+        }
+        self.w_est = self.cwnd as f64;
+        self.acked_since_epoch = 0;
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.in_recovery || ev.bytes_acked == 0 {
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd = (self.cwnd + ev.bytes_acked)
+                .min(self.ssthresh)
+                .min(self.cfg.max_cwnd);
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.start_epoch(ev.now);
+        }
+        self.acked_since_epoch += u64::from(ev.bytes_acked);
+
+        // Reno-friendly estimate: grows ~1 MSS per RTT like AIMD with
+        // beta-adjusted slope (RFC 8312 §4.2).
+        let rtt_windows = if self.cwnd > 0 {
+            ev.bytes_acked as f64 / self.cwnd as f64
+        } else {
+            0.0
+        };
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * rtt_windows * self.mss_f();
+
+        let target = self.w_cubic(ev.now).max(self.w_est);
+        if target > self.cwnd as f64 {
+            // Approach the target over roughly one RTT: cwnd grows by
+            // (target - cwnd)/cwnd per acked byte's worth.
+            let growth =
+                ((target - self.cwnd as f64) / self.cwnd as f64) * ev.bytes_acked as f64;
+            self.cwnd = ((self.cwnd as f64 + growth) as u32).min(self.cfg.max_cwnd);
+        }
+    }
+
+    fn on_enter_recovery(&mut self, _now: SimTime, _flight_size: u32) {
+        // Linux CUBIC semantics: the reduction is taken from cwnd, not
+        // flight size — vital for paced senders whose flight right after
+        // an idle/switch is far below cwnd.
+        let base = (self.cwnd.max(self.cfg.min_cwnd())) as f64;
+        // Fast convergence: release bandwidth faster when w_max shrinks.
+        if base < self.w_max {
+            self.w_max = base * (1.0 + BETA) / 2.0;
+        } else {
+            self.w_max = base;
+        }
+        self.cwnd = ((base * BETA) as u32).max(self.cfg.min_cwnd());
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * BETA) as u32).max(self.cfg.min_cwnd());
+        self.cwnd = self.cfg.mss;
+        self.epoch_start = None;
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(Cubic::new(self.cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ack;
+    use super::*;
+
+    fn cubic() -> Cubic {
+        Cubic::new(CcConfig {
+            mss: 1000,
+            init_cwnd_pkts: 10,
+            max_cwnd: 10_000_000,
+        })
+    }
+
+    #[test]
+    fn slow_start_exponential() {
+        let mut cc = cubic();
+        let start = cc.cwnd();
+        let mut acked = 0;
+        while acked < start {
+            cc.on_ack(&ack(100, 1000));
+            acked += 1000;
+        }
+        assert_eq!(cc.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn loss_reduces_to_seventy_percent_of_cwnd() {
+        let mut cc = cubic();
+        // cwnd starts at 10_000; the reduction is cwnd-based.
+        cc.on_enter_recovery(SimTime::from_micros(10), 0);
+        assert_eq!(cc.cwnd(), 7_000);
+        assert_eq!(cc.ssthresh(), 7_000);
+    }
+
+    #[test]
+    fn cubic_growth_accelerates_past_plateau() {
+        let mut cc = cubic();
+        cc.on_enter_recovery(SimTime::from_micros(0), 100_000);
+        cc.on_exit_recovery(SimTime::from_micros(0));
+        // Feed ACKs over simulated time; watch cwnd pass w_max and keep
+        // growing (convex region).
+        let mut t_us = 100;
+        let mut last = cc.cwnd();
+        let mut grew_past_wmax = false;
+        for _ in 0..20_000 {
+            cc.on_ack(&ack(t_us, 1000));
+            t_us += 50;
+            if cc.cwnd() > 100_000 {
+                grew_past_wmax = true;
+            }
+            assert!(cc.cwnd() >= last, "cwnd never shrinks on ACKs");
+            last = cc.cwnd();
+        }
+        assert!(grew_past_wmax, "cwnd {last} should exceed former w_max");
+    }
+
+    #[test]
+    fn reno_friendly_region_dominates_early() {
+        // Immediately after a loss, w_cubic is nearly flat; the w_est
+        // (Reno-friendly) term must still drive growth.
+        let mut cc = cubic();
+        cc.on_enter_recovery(SimTime::from_micros(0), 50_000);
+        let w_after_loss = cc.cwnd();
+        let mut t = 10;
+        for _ in 0..200 {
+            cc.on_ack(&ack(t, 1000));
+            t += 10;
+        }
+        assert!(
+            cc.cwnd() > w_after_loss,
+            "TCP-friendly region grows the window"
+        );
+    }
+
+    #[test]
+    fn fast_convergence_lowers_wmax() {
+        let mut cc = cubic();
+        // First loss: cwnd 10_000 -> 7_000, w_max = 10_000.
+        cc.on_enter_recovery(SimTime::from_micros(0), 0);
+        // Second loss below w_max: fast convergence lowers w_max below
+        // the pre-loss cwnd.
+        cc.on_enter_recovery(SimTime::from_micros(10), 0);
+        assert_eq!(cc.cwnd(), 4_900);
+        assert!(cc.w_max < 7_000.0 * 1.01, "w_max {}", cc.w_max);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut cc = cubic();
+        cc.on_rto(SimTime::from_micros(5));
+        assert_eq!(cc.cwnd(), 1000);
+    }
+
+    #[test]
+    fn frozen_in_recovery() {
+        let mut cc = cubic();
+        let before = cc.cwnd();
+        let mut ev = ack(100, 1000);
+        ev.in_recovery = true;
+        cc.on_ack(&ev);
+        assert_eq!(cc.cwnd(), before);
+    }
+}

@@ -1,0 +1,243 @@
+//! DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-proportional window
+//! reduction. Switches mark packets above a shallow queue threshold; the
+//! sender maintains `α`, an EWMA of the marked fraction per window, and
+//! reduces `cwnd ← cwnd·(1 − α/2)` once per window that saw marks.
+//!
+//! Growth outside marked windows follows Reno (slow start + 1 MSS/RTT).
+
+use super::{AckEvent, CcConfig, CongestionControl};
+use crate::seq::SeqNum;
+use simcore::SimTime;
+
+const G: f64 = 1.0 / 16.0; // α gain, the paper's recommended value
+
+/// DCTCP congestion control.
+#[derive(Debug, Clone)]
+pub struct Dctcp {
+    cfg: CcConfig,
+    cwnd: u32,
+    ssthresh: u32,
+    alpha: f64,
+    /// Bytes acked in the current observation window.
+    window_acked: u64,
+    /// Of those, bytes acked by ECE-carrying ACKs.
+    window_marked: u64,
+    /// End of the current observation window: once cumulative acked bytes
+    /// pass this, α updates and a reduction may apply.
+    window_end: u64,
+    /// Total bytes acked over the connection (drives window boundaries).
+    total_acked: u64,
+    acked_accum: u32,
+}
+
+impl Dctcp {
+    /// New instance with `cfg` and the canonical `α = 1` cold start.
+    pub fn new(cfg: CcConfig) -> Self {
+        Dctcp {
+            cfg,
+            cwnd: cfg.initial_cwnd(),
+            ssthresh: cfg.max_cwnd,
+            alpha: 1.0,
+            window_acked: 0,
+            window_marked: 0,
+            window_end: u64::from(cfg.initial_cwnd()),
+            total_acked: 0,
+            acked_accum: 0,
+        }
+    }
+
+    /// Current α (marked-fraction EWMA), exposed for tests and tracing.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u32 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        if ev.bytes_acked == 0 {
+            return;
+        }
+        self.total_acked += u64::from(ev.bytes_acked);
+        self.window_acked += u64::from(ev.bytes_acked);
+        self.window_marked += u64::from(ev.ecn_bytes.min(ev.bytes_acked));
+
+        // End of an observation window (~one RTT of data).
+        if self.total_acked >= self.window_end {
+            let frac = if self.window_acked > 0 {
+                self.window_marked as f64 / self.window_acked as f64
+            } else {
+                0.0
+            };
+            self.alpha = (1.0 - G) * self.alpha + G * frac;
+            if self.window_marked > 0 {
+                // ECN reduction once per window.
+                let reduced = (self.cwnd as f64 * (1.0 - self.alpha / 2.0)) as u32;
+                self.cwnd = reduced.max(self.cfg.min_cwnd());
+                self.ssthresh = self.cwnd;
+            }
+            self.window_acked = 0;
+            self.window_marked = 0;
+            self.window_end = self.total_acked + u64::from(self.cwnd.max(self.cfg.mss));
+        }
+
+        if ev.in_recovery {
+            return;
+        }
+        if self.in_slow_start() {
+            self.cwnd = (self.cwnd + ev.bytes_acked)
+                .min(self.ssthresh)
+                .min(self.cfg.max_cwnd);
+        } else {
+            self.acked_accum += ev.bytes_acked;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd = (self.cwnd + self.cfg.mss).min(self.cfg.max_cwnd);
+            }
+        }
+    }
+
+    fn on_enter_recovery(&mut self, _now: SimTime, _flight_size: u32) {
+        // Packet loss still halves, like Reno (DCTCP paper §3.3).
+        // cwnd-based reduction (Linux semantics; see cubic.rs).
+        self.ssthresh = (self.cwnd / 2).max(self.cfg.min_cwnd());
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(self.cfg.min_cwnd());
+        self.cwnd = self.cfg.mss;
+        self.acked_accum = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn CongestionControl> {
+        Box::new(Dctcp::new(self.cfg))
+    }
+}
+
+/// Receiver-side DCTCP ECE state machine (RFC 8257 §3.2): echo the CE
+/// state of arriving data accurately even with delayed ACKs. With the
+/// per-packet ACKs this stack generates, it reduces to "echo CE of the
+/// segment being acknowledged", but the state machine is kept faithful.
+#[derive(Debug, Clone, Default)]
+pub struct DctcpReceiver {
+    ce_state: bool,
+}
+
+impl DctcpReceiver {
+    /// New receiver state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Process an arriving data segment's CE mark; returns whether the ACK
+    /// for it must carry ECE.
+    pub fn on_data(&mut self, _seq: SeqNum, ce: bool) -> bool {
+        self.ce_state = ce;
+        self.ce_state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::ack;
+    use super::*;
+
+    fn dctcp() -> Dctcp {
+        // Cap the window so observation windows stay ~20 segments and α
+        // updates every ~20 ACKs (uncapped slow start doubles the window
+        // and α would only update O(log) times).
+        Dctcp::new(CcConfig {
+            mss: 1000,
+            init_cwnd_pkts: 10,
+            max_cwnd: 20_000,
+        })
+    }
+
+    #[test]
+    fn alpha_decays_without_marks() {
+        let mut cc = dctcp();
+        assert_eq!(cc.alpha(), 1.0);
+        // Push many unmarked windows through.
+        for _ in 0..2000 {
+            cc.on_ack(&ack(100, 1000));
+        }
+        assert!(cc.alpha() < 0.1, "α decays toward 0: {}", cc.alpha());
+    }
+
+    #[test]
+    fn alpha_rises_with_full_marking() {
+        let mut cc = dctcp();
+        // Decay α first.
+        for _ in 0..300 {
+            cc.on_ack(&ack(100, 1000));
+        }
+        let low = cc.alpha();
+        for _ in 0..300 {
+            let mut ev = ack(100, 1000);
+            ev.ecn_bytes = 1000;
+            cc.on_ack(&ev);
+        }
+        assert!(cc.alpha() > low, "α rises with marks");
+        assert!(cc.alpha() > 0.5);
+    }
+
+    #[test]
+    fn proportional_reduction() {
+        let mut cc = dctcp();
+        // Reach a known cwnd with α decayed.
+        for _ in 0..500 {
+            cc.on_ack(&ack(100, 1000));
+        }
+        let before = cc.cwnd();
+        let alpha_before = cc.alpha();
+        // One fully marked window triggers one reduction of ~α/2.
+        let mut acked = 0;
+        while acked < before + 1000 {
+            let mut ev = ack(200, 1000);
+            ev.ecn_bytes = 1000;
+            cc.on_ack(&ev);
+            acked += 1000;
+        }
+        let after = cc.cwnd();
+        assert!(after < before, "marked window reduces cwnd");
+        // Reduction is gentle when α is small — unlike Reno's halving.
+        assert!(
+            after as f64 > before as f64 * (1.0 - alpha_before),
+            "reduction proportional to α"
+        );
+    }
+
+    #[test]
+    fn loss_still_halves() {
+        let mut cc = dctcp();
+        // cwnd starts at 10_000 and halves on loss (cwnd-based).
+        cc.on_enter_recovery(SimTime::ZERO, 0);
+        assert_eq!(cc.cwnd(), 5_000);
+    }
+
+    #[test]
+    fn receiver_echoes_ce_state() {
+        let mut rx = DctcpReceiver::new();
+        assert!(!rx.on_data(SeqNum(0), false));
+        assert!(rx.on_data(SeqNum(1000), true));
+        assert!(rx.on_data(SeqNum(2000), true));
+        assert!(!rx.on_data(SeqNum(3000), false));
+    }
+}

@@ -1,0 +1,919 @@
+//! A single-path TCP connection: handshake, bulk data transfer with SACK
+//! loss recovery, RACK-style time-based loss marking, tail-loss probes,
+//! RTO with backoff, ECN feedback, and pluggable congestion control.
+//!
+//! The engine is poll-based in the smoltcp style: the owner feeds it
+//! segments and timer expirations and drains outgoing segments with
+//! [`Connection::poll_send`]; nothing inside blocks or knows about wall
+//! clocks. This same machinery — the retransmission queue, reassembler,
+//! RTT estimator, and CC modules — is reused by the `tdtcp` crate (which
+//! duplicates path state per TDN) and the `mptcp` crate (which runs one of
+//! these per subflow).
+
+use crate::ca::CaState;
+use crate::cc::dctcp::DctcpReceiver;
+use crate::cc::{AckEvent, CongestionControl};
+use crate::recv::Reassembler;
+use crate::rtt::{RttConfig, RttEstimator};
+use crate::rtx::{RtxQueue, TxSeg};
+use crate::segment::{Direction, FlowId, Segment};
+use crate::seq::SeqNum;
+use crate::stats::ConnStats;
+use crate::transport::Transport;
+use simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use wire::{Ecn, TdnId};
+
+/// Connection configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: u32,
+    /// Receive buffer (advertised window ceiling).
+    pub recv_buf: u32,
+    /// RTT estimator knobs.
+    pub rtt: RttConfig,
+    /// Duplicate-ACK / SACKed-segment threshold for fast retransmit.
+    pub dupack_thresh: u32,
+    /// Application bytes to send (`u64::MAX` = unbounded bulk source).
+    pub bytes_to_send: u64,
+    /// Negotiate and use ECN (set ECT(0) on data, echo CE as ECE).
+    pub ecn: bool,
+    /// Enable tail loss probes.
+    pub tlp: bool,
+    /// Enable RACK time-based loss marking (otherwise classic
+    /// all-holes-below-SACK marking).
+    pub rack: bool,
+    /// Pace data segments at cwnd/srtt instead of bursting.
+    pub pacing: bool,
+    /// Initial sequence number (fixed for determinism).
+    pub isn: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mss: 8948,
+            recv_buf: 4 << 20,
+            rtt: RttConfig::default(),
+            dupack_thresh: 3,
+            bytes_to_send: u64::MAX,
+            ecn: false,
+            tlp: true,
+            rack: true,
+            pacing: false,
+            isn: 0,
+        }
+    }
+}
+
+/// TCP connection state (simplified close path: the data sender half-closes
+/// with FIN; the pure receiver ACKs it — no TIME_WAIT modelling, which no
+/// experiment in the paper depends on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum State {
+    /// No connection.
+    Closed,
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received, SYN-ACK sent.
+    SynRcvd,
+    /// Data flows.
+    Established,
+    /// FIN sent, awaiting its ACK.
+    FinWait,
+    /// Transfer complete.
+    Done,
+}
+
+/// A single-path TCP connection (either endpoint).
+pub struct Connection {
+    cfg: Config,
+    flow: FlowId,
+    /// Direction our data segments travel (initiator sends on `DataPath`).
+    data_dir: Direction,
+    state: State,
+
+    // --- send half ---
+    snd_una: SeqNum,
+    snd_nxt: SeqNum,
+    rtx: RtxQueue,
+    peer_wnd: u32,
+    bytes_unsent: u64,
+    fin_sent: bool,
+    recovery_point: Option<SeqNum>,
+    dupacks: u32,
+    ca: CaState,
+    cc: Box<dyn CongestionControl>,
+    rtt: RttEstimator,
+
+    rto_deadline: Option<SimTime>,
+    tlp_deadline: Option<SimTime>,
+    rto_backoff: u32,
+    next_paced_at: SimTime,
+
+    // --- receive half ---
+    rx: Option<Reassembler>,
+    peer_fin: Option<SeqNum>,
+    dctcp_rx: DctcpReceiver,
+    /// Last circuit mark observed on data, echoed on ACKs (reTCP support).
+    echo_circuit: bool,
+
+    pending: VecDeque<Segment>,
+    stats: ConnStats,
+    established_at: Option<SimTime>,
+}
+
+impl Connection {
+    /// Create the initiating endpoint and queue its SYN.
+    pub fn connect(
+        flow: FlowId,
+        cfg: Config,
+        cc: Box<dyn CongestionControl>,
+        now: SimTime,
+    ) -> Self {
+        let mut c = Connection::new_endpoint(flow, Direction::DataPath, cfg, cc);
+        c.send_syn(now, false);
+        c.state = State::SynSent;
+        c
+    }
+
+    /// Create the passive endpoint (bulk sink).
+    pub fn listen(flow: FlowId, cfg: Config, cc: Box<dyn CongestionControl>) -> Self {
+        let mut cfg = cfg;
+        cfg.bytes_to_send = 0; // pure receiver
+        Connection::new_endpoint(flow, Direction::AckPath, cfg, cc)
+    }
+
+    fn new_endpoint(
+        flow: FlowId,
+        data_dir: Direction,
+        cfg: Config,
+        cc: Box<dyn CongestionControl>,
+    ) -> Self {
+        let isn = SeqNum(cfg.isn);
+        Connection {
+            rtt: RttEstimator::new(cfg.rtt),
+            bytes_unsent: cfg.bytes_to_send,
+            snd_una: isn,
+            snd_nxt: isn,
+            cfg,
+            flow,
+            data_dir,
+            state: State::Closed,
+            rtx: RtxQueue::new(),
+            peer_wnd: u32::MAX,
+            fin_sent: false,
+            recovery_point: None,
+            dupacks: 0,
+            ca: CaState::Open,
+            cc,
+            rto_deadline: None,
+            tlp_deadline: None,
+            rto_backoff: 0,
+            next_paced_at: SimTime::ZERO,
+            rx: None,
+            peer_fin: None,
+            dctcp_rx: DctcpReceiver::new(),
+            echo_circuit: false,
+            pending: VecDeque::new(),
+            stats: ConnStats::new(),
+            established_at: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // accessors
+    // ------------------------------------------------------------------
+
+    /// Current state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Current congestion window (bytes).
+    pub fn cwnd(&self) -> u32 {
+        self.cc.cwnd()
+    }
+
+    /// Congestion-avoidance machine state.
+    pub fn ca_state(&self) -> CaState {
+        self.ca
+    }
+
+    /// The RTT estimator (read-only).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
+    }
+
+    /// Bytes of sequence space in flight (estimate, RFC 6675 pipe).
+    pub fn flight_bytes(&self) -> u32 {
+        self.rtx.counts().pipe().saturating_mul(self.cfg.mss)
+    }
+
+    /// Highest cumulative byte offset acknowledged (relative to the ISN),
+    /// excluding the SYN octet — i.e. application bytes confirmed
+    /// delivered. This is the y-axis of the paper's sequence graphs.
+    pub fn acked_offset(&self) -> u64 {
+        self.stats.bytes_acked
+    }
+
+    /// When the handshake completed, if it has.
+    pub fn established_at(&self) -> Option<SimTime> {
+        self.established_at
+    }
+
+    /// Append `n` application bytes to the send stream. Used by MPTCP's
+    /// scheduler, which feeds each subflow chunk by chunk instead of
+    /// configuring a fixed transfer size.
+    pub fn enqueue_app_bytes(&mut self, n: u64) {
+        self.bytes_unsent = self.bytes_unsent.saturating_add(n);
+    }
+
+    /// Application bytes accepted but not yet transmitted for the first
+    /// time.
+    pub fn unsent_bytes(&self) -> u64 {
+        self.bytes_unsent
+    }
+
+    /// Sequence number of the next new byte to be sent.
+    pub fn snd_nxt(&self) -> SeqNum {
+        self.snd_nxt
+    }
+
+    /// Oldest unacknowledged sequence number.
+    pub fn snd_una(&self) -> SeqNum {
+        self.snd_una
+    }
+
+    // ------------------------------------------------------------------
+    // segment input
+    // ------------------------------------------------------------------
+
+    fn send_syn(&mut self, now: SimTime, _retx: bool) {
+        let mut syn = Segment::new(self.flow, self.data_dir);
+        syn.seq = self.snd_nxt;
+        syn.flags.syn = true;
+        syn.wnd = self.cfg.recv_buf;
+        if self.cfg.ecn {
+            syn.flags.ece = true;
+            syn.flags.cwr = true; // ECN-setup SYN (RFC 3168)
+        }
+        self.rtx.push(TxSeg {
+            seq: self.snd_nxt,
+            len: 1,
+            is_syn: true,
+            is_fin: false,
+            tdn: TdnId::ZERO, // Appendix A.2: the SYN is always TDN 0
+            tx_time: now,
+            first_tx: now,
+            sacked: false,
+            lost: false,
+            retx_in_flight: false,
+            retx_count: 0,
+        });
+        self.snd_nxt += 1;
+        self.pending.push_back(syn);
+        self.arm_rto(now);
+    }
+
+    /// Feed an arriving segment.
+    pub fn handle_segment(&mut self, now: SimTime, seg: &Segment) {
+        self.stats.segs_received += 1;
+        if seg.flags.rst {
+            self.state = State::Done;
+            self.pending.clear();
+            return;
+        }
+        match self.state {
+            State::Closed => {
+                if seg.flags.syn && !seg.flags.ack {
+                    self.on_syn(now, seg);
+                }
+            }
+            State::SynSent => {
+                if seg.flags.syn && seg.flags.ack {
+                    self.on_syn_ack(now, seg);
+                }
+            }
+            State::SynRcvd => {
+                if seg.flags.ack {
+                    self.process_ack(now, seg);
+                    if self.snd_una.after(SeqNum(self.cfg.isn)) {
+                        self.state = State::Established;
+                        self.established_at = Some(now);
+                    }
+                }
+                if seg.has_payload() {
+                    // The handshake ACK can carry data.
+                    self.on_data(now, seg);
+                }
+            }
+            State::Established | State::FinWait => {
+                if seg.flags.ack {
+                    self.process_ack(now, seg);
+                }
+                if seg.has_payload() || seg.flags.fin {
+                    self.on_data(now, seg);
+                }
+                self.maybe_finish();
+            }
+            State::Done => {}
+        }
+    }
+
+    fn on_syn(&mut self, now: SimTime, seg: &Segment) {
+        self.rx = Some(Reassembler::new(seg.seq + 1, self.cfg.recv_buf));
+        self.peer_wnd = seg.wnd;
+        // SYN-ACK.
+        let mut sa = Segment::new(self.flow, self.data_dir);
+        sa.seq = self.snd_nxt;
+        sa.ack = seg.seq + 1;
+        sa.flags.syn = true;
+        sa.flags.ack = true;
+        sa.wnd = self.cfg.recv_buf;
+        if self.cfg.ecn && seg.flags.ece && seg.flags.cwr {
+            sa.flags.ece = true; // accept ECN setup
+        }
+        self.rtx.push(TxSeg {
+            seq: self.snd_nxt,
+            len: 1,
+            is_syn: true,
+            is_fin: false,
+            tdn: TdnId::ZERO,
+            tx_time: now,
+            first_tx: now,
+            sacked: false,
+            lost: false,
+            retx_in_flight: false,
+            retx_count: 0,
+        });
+        self.snd_nxt += 1;
+        self.pending.push_back(sa);
+        self.state = State::SynRcvd;
+        self.arm_rto(now);
+    }
+
+    fn on_syn_ack(&mut self, now: SimTime, seg: &Segment) {
+        self.rx = Some(Reassembler::new(seg.seq + 1, self.cfg.recv_buf));
+        self.peer_wnd = seg.wnd;
+        self.process_ack(now, seg);
+        self.state = State::Established;
+        self.established_at = Some(now);
+        // Complete the handshake with a bare ACK.
+        let mut ack = Segment::new(self.flow, self.data_dir);
+        ack.seq = self.snd_nxt;
+        ack.ack = self.rx.as_ref().expect("created above").rcv_nxt();
+        ack.flags.ack = true;
+        ack.wnd = self.cfg.recv_buf;
+        self.pending.push_back(ack);
+        self.stats.acks_sent += 1;
+    }
+
+    fn on_data(&mut self, now: SimTime, seg: &Segment) {
+        let Some(rx) = self.rx.as_mut() else { return };
+        if seg.has_payload() {
+            let outcome = rx.on_data(seg.seq, seg.len);
+            self.stats.bytes_delivered += u64::from(outcome.delivered);
+            if outcome.duplicate {
+                self.stats.dup_segs_received += 1;
+                self.stats.spurious_retransmits += 1;
+            }
+            if seg.ecn == Ecn::Ce {
+                self.stats.ce_received += 1;
+            }
+        }
+        if seg.flags.fin {
+            self.peer_fin = Some(seg.seq + (seg.seq_space() - 1));
+        }
+        // Consume the FIN octet once all data before it has arrived.
+        if let Some(fin) = self.peer_fin {
+            let rx = self.rx.as_mut().expect("checked above");
+            if rx.rcv_nxt() == fin {
+                rx.advance(1);
+                self.peer_fin = None;
+                if self.state == State::Established && self.cfg.bytes_to_send == 0 {
+                    self.state = State::Done;
+                }
+            }
+        }
+        let ece = self.cfg.ecn && self.dctcp_rx.on_data(seg.seq, seg.ecn == Ecn::Ce);
+        self.echo_circuit = seg.circuit_mark;
+        self.queue_ack(now, ece);
+    }
+
+    /// Queue a pure ACK reflecting current receive state.
+    fn queue_ack(&mut self, _now: SimTime, ece: bool) {
+        let rx = self.rx.as_ref().expect("established");
+        let mut ack = Segment::new(self.flow, self.data_dir);
+        ack.seq = self.snd_nxt;
+        ack.ack = rx.rcv_nxt();
+        ack.flags.ack = true;
+        ack.flags.ece = ece;
+        ack.wnd = rx.window();
+        ack.sack = rx.sack_blocks();
+        ack.circuit_mark = self.echo_circuit;
+        self.pending.push_back(ack);
+        self.stats.acks_sent += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // ACK processing / loss detection
+    // ------------------------------------------------------------------
+
+    fn process_ack(&mut self, now: SimTime, seg: &Segment) {
+        let before_counts = self.rtx.counts();
+        // §4.3 "all TDNs": an ACK with nothing outstanding is stale.
+        if before_counts.packets_out == 0 && seg.ack == self.snd_una && seg.sack.is_empty() {
+            return;
+        }
+        if seg.ack.after(self.snd_nxt) {
+            return; // acks data never sent; drop
+        }
+
+        let old_una = self.snd_una;
+        let res = self.rtx.cum_ack(seg.ack);
+        if seg.ack.after(self.snd_una) {
+            self.snd_una = seg.ack;
+        }
+
+        // RTT sampling: newest cumulatively acked, never-retransmitted
+        // segment (Karn). Subclass behaviour (TDTCP) filters further.
+        if let Some(sample_seg) = res
+            .acked
+            .iter()
+            .rev()
+            .find(|s| !s.ever_retransmitted())
+        {
+            self.rtt.on_sample_between(sample_seg.tx_time, now);
+        }
+
+        let mut acked_payload: u32 = res.acked.iter().map(seg_payload).sum();
+        if seg.ack.after(old_una) && res.acked.is_empty() && res.acked_space > 0 {
+            acked_payload = res.acked_space; // partial trim
+        }
+        self.stats.bytes_acked += u64::from(acked_payload);
+        if res.acked.iter().any(|s| s.is_fin) {
+            self.fin_sent = true; // FIN acknowledged
+        }
+
+        // SACK processing.
+        let newly_sacked = self.rtx.mark_sacked(seg.sack.iter());
+
+        // Duplicate-ACK bookkeeping.
+        let progress = seg.ack.after(old_una);
+        if !progress && !self.rtx.is_empty() && (seg.has_payload() || !newly_sacked.is_empty() || seg.sack.is_empty()) {
+            self.dupacks += 1;
+        } else if progress {
+            self.dupacks = 0;
+        }
+
+        // Reordering / loss detection.
+        self.detect_losses(now, seg, &newly_sacked);
+
+        // Recovery exit.
+        if let Some(rp) = self.recovery_point {
+            if self.snd_una.after_eq(rp) {
+                self.recovery_point = None;
+                self.ca = CaState::Open;
+                self.dupacks = 0;
+                self.rto_backoff = 0;
+                self.cc.on_exit_recovery(now);
+            }
+        }
+        if self.ca == CaState::Disorder && !self.rtx.iter().any(|s| !s.sacked) {
+            self.ca = CaState::Open;
+        }
+
+        // Congestion control.
+        if seg.flags.ece {
+            self.stats.ece_received += 1;
+        }
+        let ev = AckEvent {
+            now,
+            bytes_acked: acked_payload,
+            packets_acked: res.acked.len() as u32 + newly_sacked.len() as u32,
+            rtt_sample: self.rtt.latest(),
+            srtt: self.rtt.srtt(),
+            flight_size: self.flight_bytes(),
+            in_recovery: self.ca.in_recovery(),
+            ecn_bytes: if seg.flags.ece { acked_payload } else { 0 },
+        };
+        self.cc.on_ack(&ev);
+        // reTCP: the echoed circuit mark drives explicit window scaling.
+        self.cc.on_circuit_signal(now, seg.circuit_mark);
+
+        self.peer_wnd = seg.wnd;
+
+        // Timers: progress re-arms RTO; emptiness disarms.
+        if self.rtx.is_empty() {
+            self.rto_deadline = None;
+            self.tlp_deadline = None;
+            self.rto_backoff = 0;
+        } else if progress || !newly_sacked.is_empty() {
+            self.rto_backoff = 0;
+            self.arm_rto(now);
+            self.arm_tlp(now);
+        }
+    }
+
+    /// Loss detection: classic dupACK threshold + RACK-style time filter.
+    /// The TDTCP subclass replaces the marking predicate with the
+    /// TDN-aware relaxed heuristic; here every hole candidate qualifies.
+    fn detect_losses(&mut self, now: SimTime, _seg: &Segment, newly_sacked: &[TxSeg]) {
+        let Some(high_sacked) = self.rtx.highest_sacked() else {
+            return;
+        };
+        let hole_exists = self
+            .rtx
+            .iter()
+            .any(|s| !s.sacked && s.seq.before(high_sacked));
+        if !hole_exists {
+            return;
+        }
+        // A "reordering event" is a fresh detection: the first hole
+        // evidence while the machine was still Open.
+        if !newly_sacked.is_empty() && self.ca == CaState::Open {
+            self.stats.reorder_events += 1;
+        }
+
+        let thresh_hit = self.dupacks >= self.cfg.dupack_thresh
+            || self.rtx.sacked_above(self.snd_una) >= self.cfg.dupack_thresh;
+        if !thresh_hit {
+            if self.ca == CaState::Open {
+                self.ca = CaState::Disorder;
+            }
+            return;
+        }
+
+        // Entering (or continuing) recovery: mark losses.
+        let rack_cutoff = if self.cfg.rack {
+            let reo_wnd = self
+                .rtt
+                .min_rtt()
+                .map(|m| m / 4)
+                .unwrap_or(SimDuration::ZERO);
+            self.rtx
+                .newest_sacked_tx_time()
+                .map(|t| t - reo_wnd)
+        } else {
+            None
+        };
+        let marked = self.rtx.mark_lost_below(high_sacked, |s| match rack_cutoff {
+            Some(cutoff) => s.tx_time <= cutoff,
+            None => true,
+        });
+        self.stats.reorder_marked_pkts += marked.len() as u64;
+
+        // A retransmission older than the RACK window that is still
+        // unacknowledged was itself lost: release it for another try.
+        if let Some(cutoff) = rack_cutoff {
+            self.rtx.refresh_stale_retx(cutoff, |_| true);
+        }
+
+        if !marked.is_empty() && !self.ca.in_recovery() {
+            self.enter_recovery(now);
+        }
+    }
+
+    fn enter_recovery(&mut self, now: SimTime) {
+        self.ca = CaState::Recovery;
+        self.recovery_point = Some(self.snd_nxt);
+        self.stats.fast_recoveries += 1;
+        self.cc.on_enter_recovery(now, self.flight_bytes());
+    }
+
+    // ------------------------------------------------------------------
+    // timers
+    // ------------------------------------------------------------------
+
+    fn arm_rto(&mut self, now: SimTime) {
+        let backoff = 1u64 << self.rto_backoff.min(12);
+        self.rto_deadline = Some(now + self.rtt.rto().saturating_mul(backoff));
+    }
+
+    fn arm_tlp(&mut self, now: SimTime) {
+        if !self.cfg.tlp {
+            return;
+        }
+        let pto = match self.rtt.srtt() {
+            Some(srtt) => srtt.saturating_mul(2),
+            None => self.rtt.rto() / 2,
+        };
+        let deadline = now + pto;
+        // TLP must fire before the RTO or it is useless.
+        if self.rto_deadline.is_none_or(|rto| deadline < rto) {
+            self.tlp_deadline = Some(deadline);
+        }
+    }
+
+    /// The earliest pending timer, if any.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        let mut t = None;
+        for cand in [self.rto_deadline, self.tlp_deadline] {
+            t = match (t, cand) {
+                (None, c) => c,
+                (Some(a), Some(b)) if b < a => Some(b),
+                (a, _) => a,
+            };
+        }
+        if self.cfg.pacing && self.can_send_data() && self.next_paced_at > SimTime::ZERO {
+            t = match t {
+                None => Some(self.next_paced_at),
+                Some(a) if self.next_paced_at < a => Some(self.next_paced_at),
+                a => a,
+            };
+        }
+        t
+    }
+
+    /// Fire any expired timers.
+    pub fn handle_timer(&mut self, now: SimTime) {
+        if let Some(tlp) = self.tlp_deadline {
+            if tlp <= now {
+                self.tlp_deadline = None;
+                self.fire_tlp(now);
+            }
+        }
+        if let Some(rto) = self.rto_deadline {
+            if rto <= now {
+                self.fire_rto(now);
+            }
+        }
+    }
+
+    fn fire_tlp(&mut self, now: SimTime) {
+        if self.rtx.is_empty() {
+            return;
+        }
+        self.stats.tlps += 1;
+        // Probe: retransmit the highest unsacked segment.
+        if let Some(seg) = self.rtx.last_unsacked() {
+            let mut out = Self::segment_from_txseg(self.flow, self.data_dir, seg);
+            seg.tx_time = now;
+            seg.retx_count += 1;
+            seg.retx_in_flight = true;
+            out.ack = self
+                .rx
+                .as_ref()
+                .map(|r| r.rcv_nxt())
+                .unwrap_or(SeqNum::ZERO);
+            out.flags.ack = self.rx.is_some();
+            self.finalize_data_segment(&mut out);
+            self.stats.retransmits += 1;
+            self.stats.segs_sent += 1;
+            self.pending.push_back(out);
+        }
+        self.arm_rto(now);
+    }
+
+    fn fire_rto(&mut self, now: SimTime) {
+        if self.rtx.is_empty() {
+            self.rto_deadline = None;
+            return;
+        }
+        self.stats.rtos += 1;
+        self.ca = CaState::Loss;
+        self.recovery_point = Some(self.snd_nxt);
+        self.dupacks = 0;
+        self.rtx.mark_all_lost();
+        self.cc.on_rto(now);
+        self.rto_backoff += 1;
+        self.arm_rto(now);
+        self.tlp_deadline = None;
+    }
+
+    // ------------------------------------------------------------------
+    // output path
+    // ------------------------------------------------------------------
+
+    fn can_send_data(&self) -> bool {
+        matches!(self.state, State::Established)
+            && (self.bytes_unsent > 0 || (!self.fin_is_queued() && self.cfg.bytes_to_send > 0))
+    }
+
+    fn fin_is_queued(&self) -> bool {
+        self.fin_sent || self.rtx.iter().any(|s| s.is_fin)
+    }
+
+    /// Hook: the TDN to tag (re)transmissions with. Single-path TCP has no
+    /// notion of TDNs; everything is accounted to TDN 0.
+    fn current_tdn(&self) -> TdnId {
+        TdnId::ZERO
+    }
+
+    fn segment_from_txseg(flow: FlowId, dir: Direction, s: &TxSeg) -> Segment {
+        let mut seg = Segment::new(flow, dir);
+        seg.seq = s.seq;
+        seg.len = s.len - u32::from(s.is_syn) - u32::from(s.is_fin);
+        seg.flags.syn = s.is_syn;
+        seg.flags.fin = s.is_fin;
+        seg.flags.psh = seg.len > 0;
+        seg
+    }
+
+    fn finalize_data_segment(&self, seg: &mut Segment) {
+        if self.cfg.ecn && seg.len > 0 {
+            seg.ecn = Ecn::Ect0;
+        }
+        if let Some(rx) = self.rx.as_ref() {
+            seg.wnd = rx.window();
+        } else {
+            seg.wnd = self.cfg.recv_buf;
+        }
+    }
+
+    /// Produce the next segment to transmit, or `None` when flow- or
+    /// congestion-control forbids sending.
+    pub fn poll_send(&mut self, now: SimTime) -> Option<Segment> {
+        // Control/ACK segments bypass cwnd.
+        if let Some(seg) = self.pending.pop_front() {
+            return Some(seg);
+        }
+        if self.cfg.pacing && now < self.next_paced_at {
+            return None;
+        }
+
+        // Retransmissions take priority (Linux behaviour; also TDTCP's
+        // "any TDN" rule — lost segments go out at the first opportunity).
+        let cwnd = self.cc.cwnd();
+        let pipe_bytes = self.flight_bytes();
+        if pipe_bytes < cwnd || self.ca == CaState::Loss {
+            let tdn = self.current_tdn();
+            let flow = self.flow;
+            let dir = self.data_dir;
+            if let Some(s) = self.rtx.next_retransmit() {
+                let mut out = Self::segment_from_txseg(flow, dir, s);
+                s.tx_time = now;
+                s.tdn = tdn;
+                s.retx_count += 1;
+                s.retx_in_flight = true;
+                out.ack = self
+                    .rx
+                    .as_ref()
+                    .map(|r| r.rcv_nxt())
+                    .unwrap_or(SeqNum::ZERO);
+                out.flags.ack = self.rx.is_some();
+                self.finalize_data_segment(&mut out);
+                self.stats.retransmits += 1;
+                self.stats.segs_sent += 1;
+                self.after_transmit(now, &out);
+                return Some(out);
+            }
+        }
+
+        // New data.
+        if self.state == State::Established && pipe_bytes < cwnd {
+            let inflight_seq = self.snd_nxt - self.snd_una;
+            if self.bytes_unsent > 0 && inflight_seq < self.peer_wnd {
+                let len = (self.cfg.mss as u64)
+                    .min(self.bytes_unsent)
+                    .min(u64::from(self.peer_wnd - inflight_seq))
+                    as u32;
+                if len > 0 {
+                    let mut seg = Segment::new(self.flow, self.data_dir);
+                    seg.seq = self.snd_nxt;
+                    seg.len = len;
+                    seg.flags.psh = true;
+                    seg.flags.ack = self.rx.is_some();
+                    seg.ack = self
+                        .rx
+                        .as_ref()
+                        .map(|r| r.rcv_nxt())
+                        .unwrap_or(SeqNum::ZERO);
+                    self.finalize_data_segment(&mut seg);
+                    self.rtx.push(TxSeg {
+                        seq: self.snd_nxt,
+                        len,
+                        is_syn: false,
+                        is_fin: false,
+                        tdn: self.current_tdn(),
+                        tx_time: now,
+                        first_tx: now,
+                        sacked: false,
+                        lost: false,
+                        retx_in_flight: false,
+                        retx_count: 0,
+                    });
+                    self.snd_nxt += len;
+                    self.bytes_unsent -= u64::from(len);
+                    self.stats.bytes_sent += u64::from(len);
+                    self.stats.segs_sent += 1;
+                    self.after_transmit(now, &seg);
+                    return Some(seg);
+                }
+            }
+            // FIN once everything is sent.
+            if self.bytes_unsent == 0
+                && self.cfg.bytes_to_send > 0
+                && !self.fin_is_queued()
+                && self.snd_nxt == self.rtx.iter().last().map_or(self.snd_nxt, |s| s.end())
+            {
+                let mut fin = Segment::new(self.flow, self.data_dir);
+                fin.seq = self.snd_nxt;
+                fin.flags.fin = true;
+                fin.flags.ack = self.rx.is_some();
+                fin.ack = self
+                    .rx
+                    .as_ref()
+                    .map(|r| r.rcv_nxt())
+                    .unwrap_or(SeqNum::ZERO);
+                self.finalize_data_segment(&mut fin);
+                self.rtx.push(TxSeg {
+                    seq: self.snd_nxt,
+                    len: 1,
+                    is_syn: false,
+                    is_fin: true,
+                    tdn: self.current_tdn(),
+                    tx_time: now,
+                    first_tx: now,
+                    sacked: false,
+                    lost: false,
+                    retx_in_flight: false,
+                    retx_count: 0,
+                });
+                self.snd_nxt += 1;
+                self.state = State::FinWait;
+                self.arm_rto(now);
+                return Some(fin);
+            }
+        }
+        None
+    }
+
+    fn after_transmit(&mut self, now: SimTime, seg: &Segment) {
+        if self.rto_deadline.is_none() {
+            self.arm_rto(now);
+        }
+        self.arm_tlp(now);
+        if self.cfg.pacing {
+            if let Some(srtt) = self.rtt.srtt() {
+                let cwnd = self.cc.cwnd().max(1);
+                // Release the next segment after size/(cwnd/srtt).
+                let gap = srtt.mul_f64(f64::from(seg.wire_size()) / f64::from(cwnd));
+                self.next_paced_at = now + gap;
+            }
+        }
+    }
+
+    fn maybe_finish(&mut self) {
+        if self.state == State::FinWait && self.fin_sent && self.rtx.is_empty() {
+            self.state = State::Done;
+        }
+    }
+}
+
+fn seg_payload(s: &TxSeg) -> u32 {
+    s.len - u32::from(s.is_syn) - u32::from(s.is_fin)
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("flow", &self.flow)
+            .field("state", &self.state)
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("cwnd", &self.cc.cwnd())
+            .field("ca", &self.ca)
+            .finish()
+    }
+}
+
+impl Transport for Connection {
+    fn on_segment(&mut self, now: SimTime, seg: &Segment) {
+        self.handle_segment(now, seg);
+    }
+
+    fn poll_send(&mut self, now: SimTime) -> Option<Segment> {
+        Connection::poll_send(self, now)
+    }
+
+    fn next_timer(&self) -> Option<SimTime> {
+        Connection::next_timer(self)
+    }
+
+    fn on_timer(&mut self, now: SimTime) {
+        self.handle_timer(now);
+    }
+
+    fn stats(&self) -> &ConnStats {
+        &self.stats
+    }
+
+    fn is_established(&self) -> bool {
+        matches!(self.state, State::Established | State::FinWait)
+    }
+
+    fn is_done(&self) -> bool {
+        self.state == State::Done
+    }
+
+    fn variant(&self) -> &'static str {
+        self.cc.name()
+    }
+
+    fn cwnd_report(&self) -> Vec<u32> {
+        vec![self.cc.cwnd()]
+    }
+}

@@ -1,0 +1,514 @@
+//! The retransmission queue: per-segment transmit metadata and the SACK
+//! scoreboard (RFC 2018 / RFC 6675 pipe accounting).
+//!
+//! Every transmitted-but-unacknowledged segment carries the TDN it was
+//! (last) sent on, which is what lets TDTCP implement the "specific TDN"
+//! accounting of §4.3 (an incoming cumulative ACK may acknowledge data
+//! sent over several TDNs; the queue is scanned to credit each one) and
+//! the relaxed reordering heuristics of §3.4.
+
+use crate::seq::SeqNum;
+use simcore::SimTime;
+use std::collections::VecDeque;
+use wire::TdnId;
+
+/// Metadata for one transmitted, unacknowledged segment.
+#[derive(Debug, Clone, Copy)]
+pub struct TxSeg {
+    /// First sequence number.
+    pub seq: SeqNum,
+    /// Sequence space consumed (payload + SYN/FIN).
+    pub len: u32,
+    /// Segment carries SYN.
+    pub is_syn: bool,
+    /// Segment carries FIN.
+    pub is_fin: bool,
+    /// TDN of the most recent transmission of this segment.
+    pub tdn: TdnId,
+    /// Time of the most recent transmission.
+    pub tx_time: SimTime,
+    /// Time of the first transmission.
+    pub first_tx: SimTime,
+    /// Selectively acknowledged.
+    pub sacked: bool,
+    /// Declared lost by loss detection.
+    pub lost: bool,
+    /// A retransmission of this segment is currently in flight.
+    pub retx_in_flight: bool,
+    /// Total times retransmitted.
+    pub retx_count: u32,
+}
+
+impl TxSeg {
+    /// Exclusive end of the segment's sequence range.
+    pub fn end(&self) -> SeqNum {
+        self.seq + self.len
+    }
+
+    /// Karn's rule: never sample RTT from a segment that was ever
+    /// retransmitted.
+    pub fn ever_retransmitted(&self) -> bool {
+        self.retx_count > 0
+    }
+
+    /// Whether this segment needs (re)transmission right now.
+    pub fn wants_retransmit(&self) -> bool {
+        self.lost && !self.retx_in_flight && !self.sacked
+    }
+}
+
+/// Counters in packets, Linux-style (`tcp_sock` fields of §3.1's "pipe"
+/// class).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeCounts {
+    /// Segments outstanding (`packets_out`).
+    pub packets_out: u32,
+    /// Segments SACKed (`sacked_out`).
+    pub sacked_out: u32,
+    /// Segments marked lost (`lost_out`).
+    pub lost_out: u32,
+    /// Retransmissions in flight (`retrans_out`).
+    pub retrans_out: u32,
+}
+
+impl PipeCounts {
+    /// RFC 6675 pipe: an estimate of segments currently in the network.
+    pub fn pipe(&self) -> u32 {
+        (self.packets_out + self.retrans_out).saturating_sub(self.sacked_out + self.lost_out)
+    }
+}
+
+/// Result of processing a cumulative ACK.
+#[derive(Debug, Default)]
+pub struct CumAckResult {
+    /// Fully acknowledged segments, removed from the queue in order.
+    pub acked: Vec<TxSeg>,
+    /// Bytes of sequence space newly acknowledged.
+    pub acked_space: u32,
+}
+
+/// The retransmission queue proper: contiguous segments covering
+/// `[snd_una, snd_nxt)` in order.
+#[derive(Debug, Default)]
+pub struct RtxQueue {
+    segs: VecDeque<TxSeg>,
+}
+
+impl RtxQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        RtxQueue::default()
+    }
+
+    /// Number of outstanding segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Append a newly transmitted segment. Its `seq` must equal the current
+    /// right edge (contiguity invariant).
+    pub fn push(&mut self, seg: TxSeg) {
+        if let Some(last) = self.segs.back() {
+            debug_assert_eq!(
+                last.end(),
+                seg.seq,
+                "rtx queue must stay contiguous: last ends {} but pushed {}",
+                last.end(),
+                seg.seq
+            );
+        }
+        self.segs.push_back(seg);
+    }
+
+    /// Process a cumulative ACK at `ack`: remove fully covered segments.
+    /// A mid-segment ACK trims the front segment (only possible if a peer
+    /// ACKs at sub-segment granularity, which ours never does, but the
+    /// queue stays correct regardless).
+    pub fn cum_ack(&mut self, ack: SeqNum) -> CumAckResult {
+        let mut out = CumAckResult::default();
+        while let Some(front) = self.segs.front() {
+            if front.end().before_eq(ack) {
+                let seg = self.segs.pop_front().expect("checked front");
+                out.acked_space += seg.len;
+                out.acked.push(seg);
+            } else if front.seq.before(ack) {
+                // Partial: trim the acknowledged prefix.
+                let front = self.segs.front_mut().expect("checked front");
+                let trimmed = ack - front.seq;
+                front.seq = ack;
+                front.len -= trimmed;
+                front.is_syn = false; // SYN is the first octet; it is covered
+                out.acked_space += trimmed;
+                break;
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Apply SACK blocks; returns the newly sacked segments (copies).
+    pub fn mark_sacked<'a>(
+        &mut self,
+        blocks: impl Iterator<Item = (SeqNum, SeqNum)> + 'a,
+    ) -> Vec<TxSeg> {
+        let mut newly = Vec::new();
+        for (left, right) in blocks {
+            for seg in self.segs.iter_mut() {
+                if !seg.sacked && seg.seq.after_eq(left) && seg.end().before_eq(right) {
+                    seg.sacked = true;
+                    // A sacked segment is definitionally not lost.
+                    seg.lost = false;
+                    seg.retx_in_flight = false;
+                    newly.push(*seg);
+                }
+            }
+        }
+        newly
+    }
+
+    /// Highest SACKed sequence (exclusive end), if any segment is sacked.
+    pub fn highest_sacked(&self) -> Option<SeqNum> {
+        self.segs
+            .iter()
+            .rev()
+            .find(|s| s.sacked)
+            .map(|s| s.end())
+    }
+
+    /// Most recent transmit time among sacked segments (RACK's reference
+    /// point: anything sent sufficiently earlier and still unsacked is
+    /// presumed lost).
+    pub fn newest_sacked_tx_time(&self) -> Option<SimTime> {
+        self.segs
+            .iter()
+            .filter(|s| s.sacked)
+            .map(|s| s.tx_time)
+            .max()
+    }
+
+    /// Count of sacked segments strictly above `seq`.
+    pub fn sacked_above(&self, seq: SeqNum) -> u32 {
+        self.segs
+            .iter()
+            .filter(|s| s.sacked && s.seq.after_eq(seq))
+            .count() as u32
+    }
+
+    /// Mark as lost every unsacked, not-already-lost segment below
+    /// `below` that satisfies `pred`. Returns copies of the segments
+    /// marked. This is the hook TDTCP's relaxed detection uses: its
+    /// predicate rejects hole segments whose TDN differs from the
+    /// triggering ACK's TDN (§3.4).
+    pub fn mark_lost_below<F>(&mut self, below: SeqNum, mut pred: F) -> Vec<TxSeg>
+    where
+        F: FnMut(&TxSeg) -> bool,
+    {
+        let mut marked = Vec::new();
+        for seg in self.segs.iter_mut() {
+            if seg.seq.after_eq(below) {
+                break;
+            }
+            if !seg.sacked && !seg.lost && pred(seg) {
+                seg.lost = true;
+                seg.retx_in_flight = false;
+                marked.push(*seg);
+            }
+        }
+        marked
+    }
+
+    /// RACK-style refresh of stale retransmissions: a retransmission
+    /// transmitted at or before `cutoff` that is still unacknowledged was
+    /// itself lost; clear its in-flight flag (and ensure it is marked
+    /// lost) so it is retransmitted again. Without this, a dropped
+    /// retransmission plugs the hole until an RTO. Returns the number of
+    /// segments refreshed.
+    pub fn refresh_stale_retx<F>(&mut self, cutoff: SimTime, mut pred: F) -> u32
+    where
+        F: FnMut(&TxSeg) -> bool,
+    {
+        let mut n = 0;
+        for seg in self.segs.iter_mut() {
+            if seg.retx_in_flight && !seg.sacked && seg.tx_time <= cutoff && pred(seg) {
+                seg.retx_in_flight = false;
+                seg.lost = true;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Mark every unsacked segment lost (RTO recovery).
+    pub fn mark_all_lost(&mut self) -> u32 {
+        let mut n = 0;
+        for seg in self.segs.iter_mut() {
+            if !seg.sacked {
+                seg.lost = true;
+                seg.retx_in_flight = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The next segment wanting retransmission, lowest sequence first.
+    pub fn next_retransmit(&mut self) -> Option<&mut TxSeg> {
+        self.segs.iter_mut().find(|s| s.wants_retransmit())
+    }
+
+    /// The highest outstanding segment (TLP probes retransmit this).
+    pub fn last_unsacked(&mut self) -> Option<&mut TxSeg> {
+        self.segs.iter_mut().rev().find(|s| !s.sacked)
+    }
+
+    /// The first (oldest) outstanding segment.
+    pub fn front(&self) -> Option<&TxSeg> {
+        self.segs.front()
+    }
+
+    /// Find the segment starting exactly at `seq`.
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut TxSeg> {
+        self.segs.iter_mut().find(|s| s.seq == seq)
+    }
+
+    /// Iterate over outstanding segments in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = &TxSeg> {
+        self.segs.iter()
+    }
+
+    /// Pipe counters over all segments.
+    pub fn counts(&self) -> PipeCounts {
+        self.counts_where(|_| true)
+    }
+
+    /// Pipe counters over segments matching `pred` (per-TDN views).
+    pub fn counts_where<F>(&self, pred: F) -> PipeCounts
+    where
+        F: Fn(&TxSeg) -> bool,
+    {
+        let mut c = PipeCounts::default();
+        for seg in self.segs.iter().filter(|s| pred(s)) {
+            c.packets_out += 1;
+            if s_sacked(seg) {
+                c.sacked_out += 1;
+            }
+            if seg.lost {
+                c.lost_out += 1;
+            }
+            if seg.retx_in_flight {
+                c.retrans_out += 1;
+            }
+        }
+        c
+    }
+
+    /// Pipe counters for one TDN.
+    pub fn counts_for_tdn(&self, tdn: TdnId) -> PipeCounts {
+        self.counts_where(|s| s.tdn == tdn)
+    }
+}
+
+fn s_sacked(s: &TxSeg) -> bool {
+    s.sacked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+
+    fn seg(seq: u32, len: u32, tdn: u8, t_us: u64) -> TxSeg {
+        TxSeg {
+            seq: SeqNum(seq),
+            len,
+            is_syn: false,
+            is_fin: false,
+            tdn: TdnId(tdn),
+            tx_time: SimTime::from_micros(t_us),
+            first_tx: SimTime::from_micros(t_us),
+            sacked: false,
+            lost: false,
+            retx_in_flight: false,
+            retx_count: 0,
+        }
+    }
+
+    fn queue_of(n: u32) -> RtxQueue {
+        let mut q = RtxQueue::new();
+        for i in 0..n {
+            q.push(seg(i * 100, 100, (i % 2) as u8, i as u64));
+        }
+        q
+    }
+
+    #[test]
+    fn cum_ack_removes_covered() {
+        let mut q = queue_of(5);
+        let r = q.cum_ack(SeqNum(300));
+        assert_eq!(r.acked.len(), 3);
+        assert_eq!(r.acked_space, 300);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.front().unwrap().seq, SeqNum(300));
+    }
+
+    #[test]
+    fn cum_ack_idempotent_and_stale() {
+        let mut q = queue_of(3);
+        q.cum_ack(SeqNum(200));
+        let r = q.cum_ack(SeqNum(100)); // stale ACK
+        assert!(r.acked.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cum_ack_partial_trims() {
+        let mut q = queue_of(2);
+        let r = q.cum_ack(SeqNum(150));
+        assert_eq!(r.acked.len(), 1);
+        assert_eq!(r.acked_space, 150);
+        let front = q.front().unwrap();
+        assert_eq!(front.seq, SeqNum(150));
+        assert_eq!(front.len, 50);
+    }
+
+    #[test]
+    fn sack_marks_and_reports_newly() {
+        let mut q = queue_of(5);
+        let newly = q.mark_sacked([(SeqNum(200), SeqNum(400))].into_iter());
+        assert_eq!(newly.len(), 2);
+        assert_eq!(newly[0].seq, SeqNum(200));
+        // Re-applying the same block marks nothing new.
+        let again = q.mark_sacked([(SeqNum(200), SeqNum(400))].into_iter());
+        assert!(again.is_empty());
+        assert_eq!(q.highest_sacked(), Some(SeqNum(400)));
+        assert_eq!(q.sacked_above(SeqNum(0)), 2);
+    }
+
+    #[test]
+    fn sack_ignores_partial_overlap() {
+        let mut q = queue_of(3);
+        // Block covers only half of segment [100,200): not sacked.
+        let newly = q.mark_sacked([(SeqNum(100), SeqNum(150))].into_iter());
+        assert!(newly.is_empty());
+    }
+
+    #[test]
+    fn mark_lost_below_with_predicate() {
+        let mut q = queue_of(6); // TDNs alternate 0,1,0,1,0,1
+        q.mark_sacked([(SeqNum(500), SeqNum(600))].into_iter());
+        // Mark lost only TDN-1 segments below 500.
+        let marked = q.mark_lost_below(SeqNum(500), |s| s.tdn == TdnId(1));
+        assert_eq!(marked.len(), 2);
+        assert!(marked.iter().all(|s| s.tdn == TdnId(1)));
+        let c = q.counts();
+        assert_eq!(c.packets_out, 6);
+        assert_eq!(c.sacked_out, 1);
+        assert_eq!(c.lost_out, 2);
+        assert_eq!(c.pipe(), 3);
+    }
+
+    #[test]
+    fn mark_lost_skips_sacked_and_already_lost() {
+        let mut q = queue_of(4);
+        q.mark_sacked([(SeqNum(100), SeqNum(200))].into_iter());
+        let first = q.mark_lost_below(SeqNum(400), |_| true);
+        assert_eq!(first.len(), 3, "sacked seg skipped");
+        let second = q.mark_lost_below(SeqNum(400), |_| true);
+        assert!(second.is_empty(), "already-lost not re-marked");
+    }
+
+    #[test]
+    fn retransmit_flow() {
+        let mut q = queue_of(3);
+        q.mark_lost_below(SeqNum(200), |_| true);
+        {
+            let s = q.next_retransmit().expect("segment 0 wants retx");
+            assert_eq!(s.seq, SeqNum(0));
+            s.retx_in_flight = true;
+            s.retx_count += 1;
+            s.tx_time = SimTime::from_micros(99);
+        }
+        {
+            let s = q.next_retransmit().expect("segment 1 next");
+            assert_eq!(s.seq, SeqNum(100));
+            s.retx_in_flight = true;
+        }
+        assert!(q.next_retransmit().is_none());
+        let c = q.counts();
+        assert_eq!(c.retrans_out, 2);
+        assert_eq!(c.pipe(), 1 + 2); // one clean + two retransmissions
+    }
+
+    #[test]
+    fn sack_clears_lost_and_retx() {
+        let mut q = queue_of(2);
+        q.mark_lost_below(SeqNum(100), |_| true);
+        q.next_retransmit().unwrap().retx_in_flight = true;
+        // The "lost" original arrives after all; SACK cleans everything.
+        let newly = q.mark_sacked([(SeqNum(0), SeqNum(100))].into_iter());
+        assert_eq!(newly.len(), 1);
+        let c = q.counts();
+        assert_eq!(c.lost_out, 0);
+        assert_eq!(c.retrans_out, 0);
+        assert_eq!(c.sacked_out, 1);
+    }
+
+    #[test]
+    fn rto_marks_all_lost() {
+        let mut q = queue_of(4);
+        q.mark_sacked([(SeqNum(300), SeqNum(400))].into_iter());
+        let n = q.mark_all_lost();
+        assert_eq!(n, 3);
+        assert_eq!(q.counts().lost_out, 3);
+    }
+
+    #[test]
+    fn per_tdn_counts() {
+        let q = queue_of(6);
+        let t0 = q.counts_for_tdn(TdnId(0));
+        let t1 = q.counts_for_tdn(TdnId(1));
+        assert_eq!(t0.packets_out, 3);
+        assert_eq!(t1.packets_out, 3);
+        assert_eq!(
+            t0.packets_out + t1.packets_out,
+            q.counts().packets_out,
+            "per-TDN counts partition the total (§4.3 'all TDNs' check)"
+        );
+    }
+
+    #[test]
+    fn newest_sacked_tx_time() {
+        let mut q = queue_of(4);
+        assert_eq!(q.newest_sacked_tx_time(), None);
+        q.mark_sacked([(SeqNum(100), SeqNum(200)), (SeqNum(300), SeqNum(400))].into_iter());
+        assert_eq!(q.newest_sacked_tx_time(), Some(SimTime::from_micros(3)));
+    }
+
+    #[test]
+    fn last_unsacked_for_tlp() {
+        let mut q = queue_of(3);
+        q.mark_sacked([(SeqNum(200), SeqNum(300))].into_iter());
+        assert_eq!(q.last_unsacked().unwrap().seq, SeqNum(100));
+    }
+
+    #[test]
+    fn get_mut_by_seq() {
+        let mut q = queue_of(3);
+        assert!(q.get_mut(SeqNum(100)).is_some());
+        assert!(q.get_mut(SeqNum(150)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    #[cfg(debug_assertions)]
+    fn push_gap_panics_in_debug() {
+        let mut q = queue_of(1);
+        q.push(seg(500, 100, 0, 9));
+    }
+}

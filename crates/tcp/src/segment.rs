@@ -1,0 +1,386 @@
+//! The simulation-level segment.
+//!
+//! The simulator passes this structured form instead of encoded bytes so a
+//! multi-second run does not spend its time in codecs; [`Segment::to_wire`]
+//! and [`Segment::from_wire`] convert to and from the byte-exact formats in
+//! the `wire` crate (used by the dissector example and round-trip tests),
+//! so the struct is provably equivalent to real packets.
+
+use crate::seq::SeqNum;
+use wire::ip::protocol;
+use wire::{Ecn, Ipv4Header, TcpFlags, TcpHeader, TcpOption, TdnId};
+
+/// Identifies one flow (connection) in a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// Which way a segment travels. Flows are unidirectional bulk transfers:
+/// data travels `DataPath`, ACKs travel `AckPath`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Sender → receiver (data).
+    DataPath,
+    /// Receiver → sender (ACKs).
+    AckPath,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::DataPath => Direction::AckPath,
+            Direction::AckPath => Direction::DataPath,
+        }
+    }
+}
+
+/// Up to four SACK blocks, fixed-size to keep [`Segment`] allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(SeqNum, SeqNum); 4],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(SeqNum(0), SeqNum(0)); 4],
+        len: 0,
+    };
+
+    /// Append a `[left, right)` block; silently ignored beyond four blocks
+    /// (the least recent blocks are the ones dropped by construction order,
+    /// matching RFC 2018's best-effort semantics).
+    pub fn push(&mut self, left: SeqNum, right: SeqNum) {
+        debug_assert!(left.before(right), "SACK block must be non-empty");
+        if (self.len as usize) < 4 {
+            self.blocks[self.len as usize] = (left, right);
+            self.len += 1;
+        }
+    }
+
+    /// The blocks in order.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqNum, SeqNum)> + '_ {
+        self.blocks[..self.len as usize].iter().copied()
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Data-sequence mapping carried by MPTCP subflow segments (simplified DSS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DssMap {
+    /// Connection-level (data) sequence number of the first payload byte.
+    pub dsn: u64,
+    /// Subflow sequence number of the first payload byte.
+    pub ssn: SeqNum,
+    /// Mapped length in bytes.
+    pub len: u32,
+}
+
+/// A TCP segment in flight in the simulator.
+///
+/// `len` is the payload length; payload bytes themselves are not carried
+/// (bulk flows synthesize them on demand), which keeps the event queue
+/// allocation-free per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// The flow this segment belongs to.
+    pub flow: FlowId,
+    /// Travel direction (used by the network for routing).
+    pub dir: Direction,
+    /// Sequence number of the first payload byte.
+    pub seq: SeqNum,
+    /// Acknowledgment number (valid when `flags.ack`).
+    pub ack: SeqNum,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// TCP flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window in bytes (already descaled).
+    pub wnd: u32,
+    /// SACK blocks.
+    pub sack: SackBlocks,
+    /// TDTCP: TDN on which the data in this segment was sent.
+    pub data_tdn: Option<TdnId>,
+    /// TDTCP: TDN on which this (ACK) segment was sent.
+    pub ack_tdn: Option<TdnId>,
+    /// TDTCP: `TD_CAPABLE` number of TDNs (SYN/SYN-ACK only).
+    pub td_capable: Option<u8>,
+    /// MPTCP: data-sequence mapping for the payload.
+    pub dss: Option<DssMap>,
+    /// MPTCP: connection-level cumulative data ACK.
+    pub data_ack: Option<u64>,
+    /// IP ECN codepoint; switches rewrite ECT → CE above threshold.
+    pub ecn: Ecn,
+    /// reTCP: switch sets this when the segment traversed the circuit.
+    pub circuit_mark: bool,
+    /// Routing pin: the segment may only be serviced while this TDN is
+    /// active (MPTCP subflows are pinned; everything else floats).
+    pub pin: Option<TdnId>,
+}
+
+/// Fixed per-segment header overhead assumed for serialization timing:
+/// 20 B IPv4 + 20 B TCP + up to ~20 B of options, rounded to a constant so
+/// runs are deterministic regardless of which options a variant uses.
+pub const HEADER_OVERHEAD: u32 = 60;
+
+impl Segment {
+    /// A zeroed template for flow `flow` travelling `dir`.
+    pub fn new(flow: FlowId, dir: Direction) -> Segment {
+        Segment {
+            flow,
+            dir,
+            seq: SeqNum::ZERO,
+            ack: SeqNum::ZERO,
+            len: 0,
+            flags: TcpFlags::default(),
+            wnd: 0,
+            sack: SackBlocks::EMPTY,
+            data_tdn: None,
+            ack_tdn: None,
+            td_capable: None,
+            dss: None,
+            data_ack: None,
+            ecn: Ecn::NotEct,
+            circuit_mark: false,
+            pin: None,
+        }
+    }
+
+    /// Total on-wire size used for serialization-delay computation.
+    pub fn wire_size(&self) -> u32 {
+        HEADER_OVERHEAD + self.len
+    }
+
+    /// Sequence number consumed on the circle: payload plus one for SYN
+    /// and one for FIN.
+    pub fn seq_space(&self) -> u32 {
+        self.len + u32::from(self.flags.syn) + u32::from(self.flags.fin)
+    }
+
+    /// End of this segment's sequence range (exclusive).
+    pub fn seq_end(&self) -> SeqNum {
+        self.seq + self.seq_space()
+    }
+
+    /// Whether the segment carries payload bytes.
+    pub fn has_payload(&self) -> bool {
+        self.len > 0
+    }
+
+    /// Encode to real IPv4+TCP bytes (payload synthesized as zeros).
+    pub fn to_wire(&self, src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Vec<u8> {
+        let mut options = Vec::new();
+        if self.flags.syn {
+            options.push(TcpOption::Mss(8948));
+            options.push(TcpOption::SackPermitted);
+        }
+        if let Some(n) = self.td_capable {
+            options.push(TcpOption::TdCapable {
+                version: 0,
+                num_tdns: n,
+            });
+        }
+        if self.data_tdn.is_some() || self.ack_tdn.is_some() {
+            options.push(TcpOption::TdDataAck {
+                data_tdn: self.data_tdn,
+                ack_tdn: self.ack_tdn,
+            });
+        }
+        if let Some(dss) = self.dss {
+            options.push(TcpOption::MpDss {
+                data_seq: dss.dsn,
+                subflow_seq: dss.ssn.0,
+                len: dss.len.min(u16::MAX as u32) as u16,
+            });
+        }
+        if !self.sack.is_empty() {
+            // Fit what we can in remaining option space.
+            let used: usize = options.iter().map(TcpOption::wire_len).sum();
+            let room = (40 - used).saturating_sub(2) / 8;
+            let blocks: Vec<(u32, u32)> = self
+                .sack
+                .iter()
+                .take(room)
+                .map(|(l, r)| (l.0, r.0))
+                .collect();
+            if !blocks.is_empty() {
+                options.push(TcpOption::Sack(blocks));
+            }
+        }
+        let mut ip = Ipv4Header::new(src_ip, dst_ip, protocol::TCP);
+        ip.ecn = self.ecn;
+        let tcp = TcpHeader {
+            src_port,
+            dst_port,
+            seq: self.seq.0,
+            ack: self.ack.0,
+            flags: self.flags,
+            window: (self.wnd >> 10).min(u16::MAX as u32) as u16, // wscale 10
+            options,
+        };
+        let payload = vec![0u8; self.len as usize];
+        let mut buf = Vec::with_capacity(20 + tcp.header_len() + payload.len());
+        ip.emit(&mut buf, tcp.header_len() + payload.len());
+        tcp.emit(&mut buf, &ip, &payload);
+        buf
+    }
+
+    /// Decode from IPv4+TCP bytes produced by [`Segment::to_wire`].
+    ///
+    /// `flow` and `dir` are routing context the wire does not carry.
+    pub fn from_wire(data: &[u8], flow: FlowId, dir: Direction) -> wire::Result<Segment> {
+        let (ip, total) = Ipv4Header::parse(data)?;
+        let tcp_bytes = &data[20..total as usize];
+        let (tcp, payload_off) = TcpHeader::parse(tcp_bytes, &ip)?;
+        let mut seg = Segment::new(flow, dir);
+        seg.seq = SeqNum(tcp.seq);
+        seg.ack = SeqNum(tcp.ack);
+        seg.flags = tcp.flags;
+        seg.wnd = (tcp.window as u32) << 10;
+        seg.len = (tcp_bytes.len() - payload_off) as u32;
+        seg.ecn = ip.ecn;
+        for opt in &tcp.options {
+            match opt {
+                TcpOption::TdCapable { num_tdns, .. } => seg.td_capable = Some(*num_tdns),
+                TcpOption::TdDataAck { data_tdn, ack_tdn } => {
+                    seg.data_tdn = *data_tdn;
+                    seg.ack_tdn = *ack_tdn;
+                }
+                TcpOption::Sack(blocks) => {
+                    for &(l, r) in blocks {
+                        seg.sack.push(SeqNum(l), SeqNum(r));
+                    }
+                }
+                TcpOption::MpDss {
+                    data_seq,
+                    subflow_seq,
+                    len,
+                } => {
+                    seg.dss = Some(DssMap {
+                        dsn: *data_seq,
+                        ssn: SeqNum(*subflow_seq),
+                        len: *len as u32,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_space_accounting() {
+        let mut s = Segment::new(FlowId(1), Direction::DataPath);
+        s.seq = SeqNum(100);
+        s.len = 50;
+        assert_eq!(s.seq_space(), 50);
+        assert_eq!(s.seq_end(), SeqNum(150));
+        s.flags.syn = true;
+        assert_eq!(s.seq_space(), 51);
+        s.flags.fin = true;
+        assert_eq!(s.seq_space(), 52);
+        let mut bare = Segment::new(FlowId(1), Direction::AckPath);
+        bare.flags.ack = true;
+        assert_eq!(bare.seq_space(), 0, "pure ACK consumes no sequence space");
+    }
+
+    #[test]
+    fn sack_blocks_capacity() {
+        let mut sb = SackBlocks::EMPTY;
+        for i in 0..6u32 {
+            sb.push(SeqNum(i * 100), SeqNum(i * 100 + 50));
+        }
+        assert_eq!(sb.len(), 4, "capped at four blocks");
+        let v: Vec<_> = sb.iter().collect();
+        assert_eq!(v[0], (SeqNum(0), SeqNum(50)));
+        assert_eq!(v[3], (SeqNum(300), SeqNum(350)));
+    }
+
+    #[test]
+    fn wire_round_trip_data_segment() {
+        let mut s = Segment::new(FlowId(7), Direction::DataPath);
+        s.seq = SeqNum(12345);
+        s.ack = SeqNum(999);
+        s.len = 100;
+        s.flags.ack = true;
+        s.flags.psh = true;
+        s.wnd = 1 << 16;
+        s.data_tdn = Some(TdnId(1));
+        s.ecn = Ecn::Ect0;
+        let bytes = s.to_wire(0x0A000001, 0x0A000002, 40000, 5001);
+        let back = Segment::from_wire(&bytes, FlowId(7), Direction::DataPath).unwrap();
+        assert_eq!(back.seq, s.seq);
+        assert_eq!(back.ack, s.ack);
+        assert_eq!(back.len, s.len);
+        assert_eq!(back.flags, s.flags);
+        assert_eq!(back.wnd, s.wnd);
+        assert_eq!(back.data_tdn, s.data_tdn);
+        assert_eq!(back.ecn, s.ecn);
+    }
+
+    #[test]
+    fn wire_round_trip_tdtcp_syn() {
+        let mut s = Segment::new(FlowId(0), Direction::DataPath);
+        s.flags.syn = true;
+        s.td_capable = Some(2);
+        s.wnd = 1 << 20;
+        let bytes = s.to_wire(1, 2, 3, 4);
+        let back = Segment::from_wire(&bytes, FlowId(0), Direction::DataPath).unwrap();
+        assert_eq!(back.td_capable, Some(2));
+        assert!(back.flags.syn);
+    }
+
+    #[test]
+    fn wire_round_trip_sack_ack() {
+        let mut s = Segment::new(FlowId(0), Direction::AckPath);
+        s.flags.ack = true;
+        s.ack = SeqNum(5000);
+        s.ack_tdn = Some(TdnId(0));
+        s.sack.push(SeqNum(6000), SeqNum(7000));
+        s.sack.push(SeqNum(8000), SeqNum(9000));
+        let bytes = s.to_wire(1, 2, 3, 4);
+        let back = Segment::from_wire(&bytes, FlowId(0), Direction::AckPath).unwrap();
+        assert_eq!(back.sack.len(), 2);
+        assert_eq!(
+            back.sack.iter().collect::<Vec<_>>(),
+            vec![(SeqNum(6000), SeqNum(7000)), (SeqNum(8000), SeqNum(9000))]
+        );
+        assert_eq!(back.ack_tdn, Some(TdnId(0)));
+    }
+
+    #[test]
+    fn wire_round_trip_mptcp_dss() {
+        let mut s = Segment::new(FlowId(3), Direction::DataPath);
+        s.flags.ack = true;
+        s.len = 1448;
+        s.dss = Some(DssMap {
+            dsn: 1 << 40,
+            ssn: SeqNum(777),
+            len: 1448,
+        });
+        let bytes = s.to_wire(1, 2, 3, 4);
+        let back = Segment::from_wire(&bytes, FlowId(3), Direction::DataPath).unwrap();
+        assert_eq!(back.dss, s.dss);
+    }
+
+    #[test]
+    fn direction_reverse() {
+        assert_eq!(Direction::DataPath.reverse(), Direction::AckPath);
+        assert_eq!(Direction::AckPath.reverse(), Direction::DataPath);
+    }
+}

@@ -1,0 +1,167 @@
+//! TCP sequence number arithmetic.
+//!
+//! Sequence numbers live on a 32-bit circle; comparisons are only
+//! meaningful between numbers less than 2^31 apart (RFC 793 §3.3 / the
+//! serial-number arithmetic of RFC 1982). [`SeqNum`] makes the wrapping
+//! explicit so no call site ever compares raw `u32`s.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number with wrapping comparison semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// The zero sequence number.
+    pub const ZERO: SeqNum = SeqNum(0);
+
+    /// `self < other` on the sequence circle.
+    #[inline]
+    pub fn before(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// `self <= other` on the sequence circle.
+    #[inline]
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        self == other || self.before(other)
+    }
+
+    /// `self > other` on the sequence circle.
+    #[inline]
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+
+    /// `self >= other` on the sequence circle.
+    #[inline]
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        self == other || self.after(other)
+    }
+
+    /// Signed distance `self - other` (positive when `self` is ahead).
+    #[inline]
+    pub fn distance(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// The larger of two sequence numbers on the circle.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sequence numbers on the circle.
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before_eq(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Whether `self` lies in the half-open interval `[lo, hi)`.
+    pub fn within(self, lo: SeqNum, hi: SeqNum) -> bool {
+        self.after_eq(lo) && self.before(hi)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    #[inline]
+    fn add(self, n: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(n))
+    }
+}
+
+impl AddAssign<u32> for SeqNum {
+    #[inline]
+    fn add_assign(&mut self, n: u32) {
+        self.0 = self.0.wrapping_add(n);
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    /// Unsigned distance; caller asserts `self` is not behind `rhs`.
+    type Output = u32;
+    #[inline]
+    fn sub(self, rhs: SeqNum) -> u32 {
+        debug_assert!(
+            self.after_eq(rhs),
+            "sequence subtraction {self} - {rhs} went negative"
+        );
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ordering() {
+        let a = SeqNum(100);
+        let b = SeqNum(200);
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert!(a.before_eq(a));
+        assert!(a.after_eq(a));
+        assert!(!a.before(a));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_max = SeqNum(u32::MAX - 10);
+        let wrapped = SeqNum(5);
+        assert!(near_max.before(wrapped), "comparison crosses the wrap");
+        assert!(wrapped.after(near_max));
+        assert_eq!(wrapped.distance(near_max), 16);
+        assert_eq!(wrapped - near_max, 16);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let s = SeqNum(u32::MAX - 1) + 4;
+        assert_eq!(s, SeqNum(2));
+        let mut t = SeqNum(u32::MAX);
+        t += 1;
+        assert_eq!(t, SeqNum(0));
+    }
+
+    #[test]
+    fn min_max_across_wrap() {
+        let a = SeqNum(u32::MAX - 5);
+        let b = SeqNum(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn within_interval() {
+        let lo = SeqNum(u32::MAX - 2);
+        let hi = SeqNum(4);
+        assert!(SeqNum(u32::MAX).within(lo, hi));
+        assert!(SeqNum(0).within(lo, hi));
+        assert!(SeqNum(3).within(lo, hi));
+        assert!(!SeqNum(4).within(lo, hi), "half-open at the top");
+        assert!(!SeqNum(5).within(lo, hi));
+        assert!(lo.within(lo, hi), "closed at the bottom");
+    }
+
+    #[test]
+    fn distance_signs() {
+        assert_eq!(SeqNum(10).distance(SeqNum(4)), 6);
+        assert_eq!(SeqNum(4).distance(SeqNum(10)), -6);
+        assert_eq!(SeqNum(0).distance(SeqNum(0)), 0);
+    }
+}

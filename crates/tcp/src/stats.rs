@@ -1,0 +1,92 @@
+//! Cumulative per-connection counters.
+//!
+//! All counters are monotone; the experiment harness snapshots them at day
+//! boundaries and diffs to attribute events to optical days (Fig. 10) or
+//! computes rates over windows (throughput tables).
+
+/// Cumulative statistics for one connection (or one MPTCP subflow).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Payload bytes handed to the network for the first time.
+    pub bytes_sent: u64,
+    /// Payload bytes cumulatively acknowledged.
+    pub bytes_acked: u64,
+    /// Payload bytes delivered in order to the receiving application.
+    pub bytes_delivered: u64,
+    /// Data segments transmitted (including retransmissions).
+    pub segs_sent: u64,
+    /// Pure ACK segments transmitted.
+    pub acks_sent: u64,
+    /// Segments received (data and ACK).
+    pub segs_received: u64,
+    /// Retransmitted segments.
+    pub retransmits: u64,
+    /// Retransmissions later proven unnecessary (the original had arrived:
+    /// detected by the receiver seeing a fully duplicate segment).
+    pub spurious_retransmits: u64,
+    /// Duplicate segments observed at the receiver.
+    pub dup_segs_received: u64,
+    /// Times the sender entered fast recovery.
+    pub fast_recoveries: u64,
+    /// Times loss detection found a sequence hole (a "reordering event"
+    /// in Fig. 10's terms: cumulative-ACK < SACK with a gap between).
+    pub reorder_events: u64,
+    /// Packets marked for retransmission by those events (Fig. 10b: the
+    /// would-be spurious retransmissions if cwnd permits).
+    pub reorder_marked_pkts: u64,
+    /// Retransmission timeouts fired.
+    pub rtos: u64,
+    /// Tail-loss probes fired.
+    pub tlps: u64,
+    /// Data segments received carrying a CE mark.
+    pub ce_received: u64,
+    /// ACKs received carrying ECN-Echo.
+    pub ece_received: u64,
+    /// Segments dropped by the network (counted by the network model).
+    pub drops: u64,
+    /// TDN change notifications processed (TDTCP only).
+    pub tdn_switches: u64,
+    /// RTT samples discarded as cross-TDN (type-3) samples (TDTCP only).
+    pub cross_tdn_rtt_discards: u64,
+    /// Hole segments skipped by relaxed reordering detection because their
+    /// TDN differed from the triggering ACK's (TDTCP only).
+    pub relaxed_skips: u64,
+    /// MPTCP: segments reinjected onto another subflow.
+    pub reinjections: u64,
+}
+
+impl ConnStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean goodput in bits per second over `elapsed`, judged by delivered
+    /// (application-order) bytes.
+    pub fn goodput_bps(&self, elapsed: simcore::SimDuration) -> f64 {
+        if elapsed == simcore::SimDuration::ZERO {
+            return 0.0;
+        }
+        (self.bytes_delivered as f64 * 8.0) / elapsed.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimDuration;
+
+    #[test]
+    fn goodput_math() {
+        let mut s = ConnStats::new();
+        s.bytes_delivered = 1_250_000; // 1.25 MB in 1 ms = 10 Gbps
+        let g = s.goodput_bps(SimDuration::from_millis(1));
+        assert!((g - 1e10).abs() / 1e10 < 1e-9, "got {g}");
+    }
+
+    #[test]
+    fn goodput_zero_elapsed() {
+        let s = ConnStats::new();
+        assert_eq!(s.goodput_bps(SimDuration::ZERO), 0.0);
+    }
+}

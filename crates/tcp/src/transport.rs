@@ -1,0 +1,55 @@
+//! The endpoint abstraction the network substrate drives.
+//!
+//! Single-path TCP, TDTCP, and MPTCP endpoints all implement [`Transport`];
+//! the RDCN emulator holds a `Box<dyn Transport>` per host and is agnostic
+//! to the variant under test.
+
+use crate::segment::Segment;
+use crate::stats::ConnStats;
+use simcore::SimTime;
+use wire::TdnId;
+
+/// A transport endpoint: consumes segments, timer expirations and
+/// network-control signals; produces segments.
+pub trait Transport {
+    /// An incoming segment was delivered to this host.
+    fn on_segment(&mut self, now: SimTime, seg: &Segment);
+
+    /// Produce the next segment to transmit, or `None` when nothing may be
+    /// sent. The driver calls this repeatedly until `None` after every
+    /// event.
+    fn poll_send(&mut self, now: SimTime) -> Option<Segment>;
+
+    /// Earliest pending timer, if any.
+    fn next_timer(&self) -> Option<SimTime>;
+
+    /// A previously announced timer deadline passed.
+    fn on_timer(&mut self, now: SimTime);
+
+    /// A ToR-generated TDN-change notification arrived (§3.2). Default:
+    /// ignored (single-path TCP has no use for it).
+    fn on_tdn_notification(&mut self, _now: SimTime, _tdn: TdnId) {}
+
+    /// retcpdyn: the ToR announced it will switch to the circuit soon and
+    /// has pre-enlarged its buffers. Default: ignored.
+    fn on_circuit_prepare(&mut self, _now: SimTime) {}
+
+    /// Cumulative statistics.
+    fn stats(&self) -> &ConnStats;
+
+    /// Whether the connection finished its handshake.
+    fn is_established(&self) -> bool;
+
+    /// Whether the transfer has fully completed.
+    fn is_done(&self) -> bool;
+
+    /// Variant label for reporting (e.g. `"cubic"`, `"tdtcp"`).
+    fn variant(&self) -> &'static str;
+
+    /// Current congestion window(s) in bytes — one entry for single-path
+    /// variants, one per TDN for TDTCP, one per subflow for MPTCP. For
+    /// tracing and diagnostics.
+    fn cwnd_report(&self) -> Vec<u32> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,74 @@
+//! The Internet checksum (RFC 1071), used by the IPv4, TCP, and ICMP
+//! encoders. One's-complement sum of 16-bit words, final complement.
+
+/// Compute the Internet checksum over `data`, treating a trailing odd byte
+/// as if padded with a zero byte.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data))
+}
+
+/// One's-complement 32-bit accumulation of 16-bit big-endian words.
+pub fn sum_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        sum = sum.wrapping_add(u32::from(u16::from_be_bytes([w[0], w[1]])));
+    }
+    if let [last] = chunks.remainder() {
+        sum = sum.wrapping_add(u32::from(u16::from_be_bytes([*last, 0])));
+    }
+    sum
+}
+
+/// Fold a 32-bit one's-complement accumulator down to 16 bits.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verify data that includes its own checksum field: the folded sum must be
+/// `0xFFFF` (all-ones before the final complement).
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(data)) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3: words 0x0001, 0xf203,
+        // 0xf4f5, 0xf6f7 sum to 0x2ddf0 -> folded 0xddf2 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn empty_checksums_to_all_ones() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn verify_round_trip() {
+        // Build a fake header with the checksum at bytes 2..4.
+        let mut pkt = vec![0x45, 0x00, 0x00, 0x00, 0x12, 0x34, 0xab, 0xcd];
+        let ck = internet_checksum(&pkt);
+        pkt[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&pkt));
+        pkt[5] ^= 0x01;
+        assert!(!verify(&pkt));
+    }
+
+    #[test]
+    fn checksum_of_all_zero() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0]), 0xFFFF);
+    }
+}

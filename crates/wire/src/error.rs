@@ -1,0 +1,39 @@
+//! Parse errors.
+
+use core::fmt;
+
+/// Why a buffer failed to parse as a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header demands.
+    Truncated,
+    /// A length field is inconsistent with the buffer or with the format.
+    BadLength,
+    /// A version/type field holds a value we do not speak.
+    BadVersion,
+    /// The checksum does not verify.
+    BadChecksum,
+    /// An option is malformed (bad kind-specific length, truncated body).
+    BadOption,
+    /// A field holds a semantically invalid value.
+    BadValue,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::Truncated => "buffer truncated",
+            ParseError::BadLength => "inconsistent length field",
+            ParseError::BadVersion => "unsupported version",
+            ParseError::BadChecksum => "checksum mismatch",
+            ParseError::BadOption => "malformed option",
+            ParseError::BadValue => "invalid field value",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for wire parsing.
+pub type Result<T> = core::result::Result<T, ParseError>;

@@ -1,0 +1,30 @@
+//! # wire — packet formats for the TDTCP reproduction
+//!
+//! Byte-exact encoders/parsers for everything that crosses the simulated
+//! network: a minimal IPv4 header with ECN codepoints, the TCP header with
+//! full option support, the TDTCP protocol extensions from Fig. 5 of the
+//! paper (the `TD_CAPABLE` handshake option, the `TD_DATA_ACK` per-segment
+//! tag, and the ICMP TDN-change notification), SACK blocks (RFC 2018), and
+//! a simplified MPTCP DSS mapping for the baseline.
+//!
+//! The simulator passes structured segments for speed; these codecs are
+//! exercised by round-trip/property tests and by the `dissector` example,
+//! and double as the reference wire specification of the protocol.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod error;
+pub mod icmp;
+pub mod ip;
+pub mod options;
+pub mod pcap;
+pub mod tcp;
+pub mod tdn;
+
+pub use error::{ParseError, Result};
+pub use icmp::TdnNotification;
+pub use ip::{Ecn, Ipv4Header};
+pub use options::TcpOption;
+pub use tcp::{TcpFlags, TcpHeader};
+pub use tdn::TdnId;

@@ -1,0 +1,452 @@
+//! TCP options, including the two TDTCP options of Fig. 5(b,c) and a
+//! simplified MPTCP DSS mapping used by the `mptcp` baseline crate.
+//!
+//! TDTCP options use a single private option kind ([`TDTCP_KIND`]) with a
+//! subtype nibble, mirroring how the kernel implementation piggybacks on
+//! MPTCP's option layout:
+//!
+//! ```text
+//! TD_CAPABLE   [kind=175][len=4][subtype=0 | version][num_tdns]
+//! TD_DATA_ACK  [kind=175][len=5][subtype=1 | flags(D,A)][data_tdn][ack_tdn]
+//! ```
+//!
+//! The `D` flag says the `data_tdn` byte is meaningful (segment carries
+//! data sent on that TDN); `A` likewise for `ack_tdn` (§4.1).
+
+use crate::error::{ParseError, Result};
+use crate::tdn::TdnId;
+use bytes::BufMut;
+
+/// Private TCP option kind used by TDTCP (unassigned by IANA; the data
+/// center operator controls both ends, §3.3).
+pub const TDTCP_KIND: u8 = 175;
+/// IANA option kind for MPTCP.
+pub const MPTCP_KIND: u8 = 30;
+
+/// TDTCP subtype: capability negotiation on SYN/SYN-ACK.
+pub const TD_SUBTYPE_CAPABLE: u8 = 0;
+/// TDTCP subtype: per-segment TDN tagging.
+pub const TD_SUBTYPE_DATA_ACK: u8 = 1;
+/// MPTCP subtype: data sequence signal (simplified DSS).
+pub const MP_SUBTYPE_DSS: u8 = 2;
+
+/// Maximum SACK blocks that fit alongside other options (RFC 2018).
+pub const MAX_SACK_BLOCKS: usize = 4;
+
+/// A single parsed TCP option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOption {
+    /// No-op padding.
+    Nop,
+    /// Maximum segment size (SYN only).
+    Mss(u16),
+    /// Window scale shift (SYN only).
+    WindowScale(u8),
+    /// SACK permitted (SYN only).
+    SackPermitted,
+    /// Selective acknowledgment blocks, `(left_edge, right_edge)` pairs.
+    Sack(Vec<(u32, u32)>),
+    /// RFC 7323 timestamps.
+    Timestamps {
+        /// Sender's timestamp clock value.
+        tsval: u32,
+        /// Echo of the peer's most recent tsval.
+        tsecr: u32,
+    },
+    /// TDTCP capability negotiation (Fig. 5b).
+    TdCapable {
+        /// Protocol version (0 in this reproduction).
+        version: u8,
+        /// Number of TDNs the sender observes; both ends must agree (§4.2).
+        num_tdns: u8,
+    },
+    /// TDTCP per-segment tagging (Fig. 5c).
+    TdDataAck {
+        /// TDN the data in this segment was sent on, if it carries data.
+        data_tdn: Option<TdnId>,
+        /// TDN the acknowledgment in this segment was sent on, if ACK set.
+        ack_tdn: Option<TdnId>,
+    },
+    /// Simplified MPTCP DSS: maps this subflow segment into the
+    /// connection-level data sequence space.
+    MpDss {
+        /// Connection-level (data) sequence number of the first payload byte.
+        data_seq: u64,
+        /// Subflow-level sequence number of the first payload byte.
+        subflow_seq: u32,
+        /// Length of the mapped region in bytes.
+        len: u16,
+    },
+    /// Any option we do not interpret, preserved verbatim.
+    Unknown {
+        /// Option kind byte.
+        kind: u8,
+        /// Raw option body (excluding kind and length bytes).
+        data: Vec<u8>,
+    },
+}
+
+impl TcpOption {
+    /// Encoded size in bytes, excluding inter-option padding.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            TcpOption::Nop => 1,
+            TcpOption::Mss(_) => 4,
+            TcpOption::WindowScale(_) => 3,
+            TcpOption::SackPermitted => 2,
+            TcpOption::Sack(blocks) => 2 + 8 * blocks.len(),
+            TcpOption::Timestamps { .. } => 10,
+            TcpOption::TdCapable { .. } => 4,
+            TcpOption::TdDataAck { .. } => 5,
+            TcpOption::MpDss { .. } => 18,
+            TcpOption::Unknown { data, .. } => 2 + data.len(),
+        }
+    }
+
+    /// Append this option to `buf`.
+    pub fn emit<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            TcpOption::Nop => buf.put_u8(1),
+            TcpOption::Mss(mss) => {
+                buf.put_u8(2);
+                buf.put_u8(4);
+                buf.put_u16(*mss);
+            }
+            TcpOption::WindowScale(shift) => {
+                buf.put_u8(3);
+                buf.put_u8(3);
+                buf.put_u8(*shift);
+            }
+            TcpOption::SackPermitted => {
+                buf.put_u8(4);
+                buf.put_u8(2);
+            }
+            TcpOption::Sack(blocks) => {
+                assert!(
+                    blocks.len() <= MAX_SACK_BLOCKS,
+                    "at most {MAX_SACK_BLOCKS} SACK blocks fit in the option space"
+                );
+                buf.put_u8(5);
+                buf.put_u8((2 + 8 * blocks.len()) as u8);
+                for &(l, r) in blocks {
+                    buf.put_u32(l);
+                    buf.put_u32(r);
+                }
+            }
+            TcpOption::Timestamps { tsval, tsecr } => {
+                buf.put_u8(8);
+                buf.put_u8(10);
+                buf.put_u32(*tsval);
+                buf.put_u32(*tsecr);
+            }
+            TcpOption::TdCapable { version, num_tdns } => {
+                assert!(*version < 16, "version is a nibble");
+                buf.put_u8(TDTCP_KIND);
+                buf.put_u8(4);
+                buf.put_u8((TD_SUBTYPE_CAPABLE << 4) | version);
+                buf.put_u8(*num_tdns);
+            }
+            TcpOption::TdDataAck { data_tdn, ack_tdn } => {
+                let mut flags = 0u8;
+                if data_tdn.is_some() {
+                    flags |= 0x1; // D bit
+                }
+                if ack_tdn.is_some() {
+                    flags |= 0x2; // A bit
+                }
+                buf.put_u8(TDTCP_KIND);
+                buf.put_u8(5);
+                buf.put_u8((TD_SUBTYPE_DATA_ACK << 4) | flags);
+                buf.put_u8(data_tdn.map_or(0, |t| t.0));
+                buf.put_u8(ack_tdn.map_or(0, |t| t.0));
+            }
+            TcpOption::MpDss {
+                data_seq,
+                subflow_seq,
+                len,
+            } => {
+                buf.put_u8(MPTCP_KIND);
+                buf.put_u8(18);
+                buf.put_u8(MP_SUBTYPE_DSS << 4);
+                buf.put_u8(0); // reserved flags
+                buf.put_u64(*data_seq);
+                buf.put_u32(*subflow_seq);
+                buf.put_u16(*len);
+            }
+            TcpOption::Unknown { kind, data } => {
+                buf.put_u8(*kind);
+                buf.put_u8((2 + data.len()) as u8);
+                buf.put_slice(data);
+            }
+        }
+    }
+
+    /// Parse one option from the front of `data`.
+    ///
+    /// Returns the option and the number of bytes consumed, or `Ok(None)`
+    /// when an end-of-option-list byte (kind 0) is hit.
+    pub fn parse(data: &[u8]) -> Result<Option<(TcpOption, usize)>> {
+        let Some(&kind) = data.first() else {
+            return Err(ParseError::Truncated);
+        };
+        if kind == 0 {
+            return Ok(None); // EOL
+        }
+        if kind == 1 {
+            return Ok(Some((TcpOption::Nop, 1)));
+        }
+        let Some(&len) = data.get(1) else {
+            return Err(ParseError::Truncated);
+        };
+        let len = len as usize;
+        if len < 2 || len > data.len() {
+            return Err(ParseError::BadOption);
+        }
+        let body = &data[2..len];
+        let opt = match kind {
+            2 => {
+                if body.len() != 2 {
+                    return Err(ParseError::BadOption);
+                }
+                TcpOption::Mss(u16::from_be_bytes([body[0], body[1]]))
+            }
+            3 => {
+                if body.len() != 1 {
+                    return Err(ParseError::BadOption);
+                }
+                TcpOption::WindowScale(body[0])
+            }
+            4 => {
+                if !body.is_empty() {
+                    return Err(ParseError::BadOption);
+                }
+                TcpOption::SackPermitted
+            }
+            5 => {
+                if body.is_empty() || !body.len().is_multiple_of(8) || body.len() / 8 > MAX_SACK_BLOCKS {
+                    return Err(ParseError::BadOption);
+                }
+                let blocks = body
+                    .chunks_exact(8)
+                    .map(|c| {
+                        (
+                            u32::from_be_bytes([c[0], c[1], c[2], c[3]]),
+                            u32::from_be_bytes([c[4], c[5], c[6], c[7]]),
+                        )
+                    })
+                    .collect();
+                TcpOption::Sack(blocks)
+            }
+            8 => {
+                if body.len() != 8 {
+                    return Err(ParseError::BadOption);
+                }
+                TcpOption::Timestamps {
+                    tsval: u32::from_be_bytes([body[0], body[1], body[2], body[3]]),
+                    tsecr: u32::from_be_bytes([body[4], body[5], body[6], body[7]]),
+                }
+            }
+            TDTCP_KIND => {
+                if body.is_empty() {
+                    return Err(ParseError::BadOption);
+                }
+                let subtype = body[0] >> 4;
+                match subtype {
+                    TD_SUBTYPE_CAPABLE => {
+                        if body.len() != 2 {
+                            return Err(ParseError::BadOption);
+                        }
+                        TcpOption::TdCapable {
+                            version: body[0] & 0x0F,
+                            num_tdns: body[1],
+                        }
+                    }
+                    TD_SUBTYPE_DATA_ACK => {
+                        if body.len() != 3 {
+                            return Err(ParseError::BadOption);
+                        }
+                        let flags = body[0] & 0x0F;
+                        TcpOption::TdDataAck {
+                            data_tdn: (flags & 0x1 != 0).then_some(TdnId(body[1])),
+                            ack_tdn: (flags & 0x2 != 0).then_some(TdnId(body[2])),
+                        }
+                    }
+                    _ => TcpOption::Unknown {
+                        kind,
+                        data: body.to_vec(),
+                    },
+                }
+            }
+            MPTCP_KIND => {
+                if body.is_empty() {
+                    return Err(ParseError::BadOption);
+                }
+                let subtype = body[0] >> 4;
+                if subtype == MP_SUBTYPE_DSS {
+                    if body.len() != 16 {
+                        return Err(ParseError::BadOption);
+                    }
+                    TcpOption::MpDss {
+                        data_seq: u64::from_be_bytes(body[2..10].try_into().expect("8 bytes")),
+                        subflow_seq: u32::from_be_bytes(
+                            body[10..14].try_into().expect("4 bytes"),
+                        ),
+                        len: u16::from_be_bytes(body[14..16].try_into().expect("2 bytes")),
+                    }
+                } else {
+                    TcpOption::Unknown {
+                        kind,
+                        data: body.to_vec(),
+                    }
+                }
+            }
+            _ => TcpOption::Unknown {
+                kind,
+                data: body.to_vec(),
+            },
+        };
+        Ok(Some((opt, len)))
+    }
+
+    /// Parse a full option block (the variable part of a TCP header).
+    pub fn parse_all(mut data: &[u8]) -> Result<Vec<TcpOption>> {
+        let mut out = Vec::new();
+        while !data.is_empty() {
+            match TcpOption::parse(data)? {
+                None => break, // EOL: rest is padding
+                Some((TcpOption::Nop, n)) => data = &data[n..],
+                Some((opt, n)) => {
+                    out.push(opt);
+                    data = &data[n..];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(opt: TcpOption) {
+        let mut buf = Vec::new();
+        opt.emit(&mut buf);
+        assert_eq!(buf.len(), opt.wire_len(), "wire_len matches emit");
+        let (parsed, consumed) = TcpOption::parse(&buf).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(parsed, opt);
+    }
+
+    #[test]
+    fn round_trip_standard_options() {
+        round_trip(TcpOption::Nop);
+        round_trip(TcpOption::Mss(8948));
+        round_trip(TcpOption::WindowScale(10));
+        round_trip(TcpOption::SackPermitted);
+        round_trip(TcpOption::Timestamps {
+            tsval: 0xDEAD_BEEF,
+            tsecr: 0x0102_0304,
+        });
+        round_trip(TcpOption::Sack(vec![(1000, 2000), (3000, 4000)]));
+    }
+
+    #[test]
+    fn round_trip_tdtcp_options() {
+        round_trip(TcpOption::TdCapable {
+            version: 0,
+            num_tdns: 2,
+        });
+        round_trip(TcpOption::TdDataAck {
+            data_tdn: Some(TdnId(1)),
+            ack_tdn: Some(TdnId(0)),
+        });
+        round_trip(TcpOption::TdDataAck {
+            data_tdn: None,
+            ack_tdn: Some(TdnId(3)),
+        });
+        round_trip(TcpOption::TdDataAck {
+            data_tdn: Some(TdnId(255)),
+            ack_tdn: None,
+        });
+    }
+
+    #[test]
+    fn round_trip_mptcp_dss() {
+        round_trip(TcpOption::MpDss {
+            data_seq: 0x1122_3344_5566_7788,
+            subflow_seq: 0x99AA_BBCC,
+            len: 8948,
+        });
+    }
+
+    #[test]
+    fn td_data_ack_flag_bits_on_wire() {
+        let mut buf = Vec::new();
+        TcpOption::TdDataAck {
+            data_tdn: Some(TdnId(1)),
+            ack_tdn: None,
+        }
+        .emit(&mut buf);
+        assert_eq!(buf, vec![TDTCP_KIND, 5, (TD_SUBTYPE_DATA_ACK << 4) | 0x1, 1, 0]);
+    }
+
+    #[test]
+    fn td_capable_on_wire_matches_fig5b() {
+        let mut buf = Vec::new();
+        TcpOption::TdCapable {
+            version: 0,
+            num_tdns: 2,
+        }
+        .emit(&mut buf);
+        assert_eq!(buf, vec![TDTCP_KIND, 4, 0x00, 2]);
+    }
+
+    #[test]
+    fn unknown_option_preserved() {
+        round_trip(TcpOption::Unknown {
+            kind: 99,
+            data: vec![1, 2, 3],
+        });
+    }
+
+    #[test]
+    fn parse_all_with_padding() {
+        let mut buf = Vec::new();
+        TcpOption::Mss(1460).emit(&mut buf);
+        TcpOption::Nop.emit(&mut buf);
+        TcpOption::SackPermitted.emit(&mut buf);
+        buf.push(0); // EOL
+        buf.push(0xAB); // garbage after EOL must be ignored
+        let opts = TcpOption::parse_all(&buf).unwrap();
+        assert_eq!(opts, vec![TcpOption::Mss(1460), TcpOption::SackPermitted]);
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        assert_eq!(TcpOption::parse(&[]), Err(ParseError::Truncated));
+        assert_eq!(TcpOption::parse(&[2]), Err(ParseError::Truncated));
+        // MSS with bad length.
+        assert_eq!(TcpOption::parse(&[2, 3, 0]), Err(ParseError::BadOption));
+        // Length overruns the buffer.
+        assert_eq!(TcpOption::parse(&[5, 10, 0, 0]), Err(ParseError::BadOption));
+        // Length below minimum.
+        assert_eq!(TcpOption::parse(&[99, 1]), Err(ParseError::BadOption));
+        // SACK body not a multiple of 8.
+        assert_eq!(
+            TcpOption::parse(&[5, 6, 0, 0, 0, 0]),
+            Err(ParseError::BadOption)
+        );
+        // Too many SACK blocks.
+        let mut b = vec![5u8, 2 + 8 * 5];
+        b.extend_from_slice(&[0; 40]);
+        assert_eq!(TcpOption::parse(&b), Err(ParseError::BadOption));
+    }
+
+    #[test]
+    fn unknown_tdtcp_subtype_degrades_to_unknown() {
+        let buf = [TDTCP_KIND, 4, 0xF0, 7];
+        let (opt, _) = TcpOption::parse(&buf).unwrap().unwrap();
+        assert!(matches!(opt, TcpOption::Unknown { kind: TDTCP_KIND, .. }));
+    }
+}

@@ -1,0 +1,181 @@
+//! Minimal pcap (libpcap classic format) writer/reader for raw IP
+//! packets, so simulated traffic can be dumped and opened in Wireshark —
+//! the role the paper's Wireshark patches play for debugging TDTCP.
+//!
+//! Uses `LINKTYPE_RAW` (101): each record body is an IPv4 packet exactly
+//! as the `wire` encoders produce it.
+
+use crate::error::{ParseError, Result};
+use bytes::BufMut;
+
+const MAGIC: u32 = 0xA1B2_C3D4; // microsecond timestamps, native order written big-endian
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+/// LINKTYPE_RAW: raw IPv4/IPv6.
+pub const LINKTYPE_RAW: u32 = 101;
+
+/// A single captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp, microseconds since an arbitrary epoch (the
+    /// simulator uses simulated time directly).
+    pub ts_us: u64,
+    /// Raw IP packet bytes.
+    pub data: Vec<u8>,
+}
+
+/// Accumulates packets and serializes a classic pcap file.
+#[derive(Debug, Default)]
+pub struct PcapWriter {
+    records: Vec<PcapRecord>,
+}
+
+impl PcapWriter {
+    /// New, empty capture.
+    pub fn new() -> Self {
+        PcapWriter::default()
+    }
+
+    /// Append one raw-IP packet captured at `ts_us` microseconds.
+    pub fn push(&mut self, ts_us: u64, data: Vec<u8>) {
+        self.records.push(PcapRecord { ts_us, data });
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the capture is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Serialize the capture to pcap bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24 + self.records.iter().map(|r| 16 + r.data.len()).sum::<usize>());
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION_MAJOR);
+        buf.put_u16(VERSION_MINOR);
+        buf.put_i32(0); // thiszone
+        buf.put_u32(0); // sigfigs
+        buf.put_u32(65_535); // snaplen
+        buf.put_u32(LINKTYPE_RAW);
+        for r in &self.records {
+            buf.put_u32((r.ts_us / 1_000_000) as u32);
+            buf.put_u32((r.ts_us % 1_000_000) as u32);
+            buf.put_u32(r.data.len() as u32);
+            buf.put_u32(r.data.len() as u32);
+            buf.put_slice(&r.data);
+        }
+        buf
+    }
+}
+
+/// Parse a pcap file produced by [`PcapWriter`] (big-endian classic
+/// format, LINKTYPE_RAW).
+pub fn parse(data: &[u8]) -> Result<Vec<PcapRecord>> {
+    if data.len() < 24 {
+        return Err(ParseError::Truncated);
+    }
+    let magic = u32::from_be_bytes(data[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(ParseError::BadVersion);
+    }
+    let linktype = u32::from_be_bytes(data[20..24].try_into().expect("4 bytes"));
+    if linktype != LINKTYPE_RAW {
+        return Err(ParseError::BadValue);
+    }
+    let mut out = Vec::new();
+    let mut off = 24usize;
+    while off < data.len() {
+        if data.len() - off < 16 {
+            return Err(ParseError::Truncated);
+        }
+        let sec = u32::from_be_bytes(data[off..off + 4].try_into().expect("4"));
+        let usec = u32::from_be_bytes(data[off + 4..off + 8].try_into().expect("4"));
+        let incl = u32::from_be_bytes(data[off + 8..off + 12].try_into().expect("4")) as usize;
+        let orig = u32::from_be_bytes(data[off + 12..off + 16].try_into().expect("4")) as usize;
+        if incl != orig {
+            return Err(ParseError::BadLength);
+        }
+        off += 16;
+        if data.len() - off < incl {
+            return Err(ParseError::Truncated);
+        }
+        out.push(PcapRecord {
+            ts_us: u64::from(sec) * 1_000_000 + u64::from(usec),
+            data: data[off..off + incl].to_vec(),
+        });
+        off += incl;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icmp::TdnNotification;
+    use crate::tdn::TdnId;
+
+    #[test]
+    fn round_trip_capture() {
+        let mut w = PcapWriter::new();
+        assert!(w.is_empty());
+        w.push(1_000_000, vec![0x45, 0, 0, 20]);
+        w.push(2_500_001, vec![0x45, 0, 0, 24, 9, 9]);
+        assert_eq!(w.len(), 2);
+        let bytes = w.to_bytes();
+        let records = parse(&bytes).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].ts_us, 1_000_000);
+        assert_eq!(records[1].ts_us, 2_500_001);
+        assert_eq!(records[1].data, vec![0x45, 0, 0, 24, 9, 9]);
+    }
+
+    #[test]
+    fn header_fields() {
+        let bytes = PcapWriter::new().to_bytes();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &0xA1B2_C3D4u32.to_be_bytes());
+        assert_eq!(&bytes[20..24], &101u32.to_be_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse(&[0u8; 10]), Err(ParseError::Truncated));
+        let mut bad = PcapWriter::new().to_bytes();
+        bad[0] = 0;
+        assert_eq!(parse(&bad), Err(ParseError::BadVersion));
+        // Truncated record.
+        let mut w = PcapWriter::new();
+        w.push(0, vec![1, 2, 3, 4]);
+        let mut b = w.to_bytes();
+        b.truncate(b.len() - 2);
+        assert_eq!(parse(&b), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn carries_real_packets() {
+        // A capture of an ICMP notification parses back to the packet.
+        let mut icmp = Vec::new();
+        let mut ip = crate::ip::Ipv4Header::new(1, 2, crate::ip::protocol::ICMP);
+        ip.ttl = 1;
+        let mut body = Vec::new();
+        TdnNotification {
+            active_tdn: TdnId(1),
+        }
+        .emit(&mut body);
+        ip.emit(&mut icmp, body.len());
+        icmp.extend_from_slice(&body);
+
+        let mut w = PcapWriter::new();
+        w.push(42, icmp.clone());
+        let recs = parse(&w.to_bytes()).unwrap();
+        assert_eq!(recs[0].data, icmp);
+        let (hdr, _) = crate::ip::Ipv4Header::parse(&recs[0].data).unwrap();
+        assert_eq!(hdr.protocol, crate::ip::protocol::ICMP);
+        let n = TdnNotification::parse(&recs[0].data[20..]).unwrap();
+        assert_eq!(n.active_tdn, TdnId(1));
+    }
+}

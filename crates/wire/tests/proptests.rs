@@ -1,0 +1,136 @@
+//! Property tests: every encodable packet parses back to itself, and no
+//! random byte soup can crash a parser.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use wire::ip::protocol;
+use wire::options::MAX_SACK_BLOCKS;
+use wire::{Ecn, Ipv4Header, TcpFlags, TcpHeader, TcpOption, TdnId, TdnNotification};
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    (any::<u8>()).prop_map(|b| TcpFlags::from_byte(b & !0x20))
+}
+
+fn arb_option() -> impl Strategy<Value = TcpOption> {
+    prop_oneof![
+        any::<u16>().prop_map(TcpOption::Mss),
+        (0u8..15).prop_map(TcpOption::WindowScale),
+        Just(TcpOption::SackPermitted),
+        vec((any::<u32>(), any::<u32>()), 1..=MAX_SACK_BLOCKS).prop_map(TcpOption::Sack),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(tsval, tsecr)| TcpOption::Timestamps { tsval, tsecr }),
+        (0u8..16, any::<u8>()).prop_map(|(version, num_tdns)| TcpOption::TdCapable {
+            version,
+            num_tdns
+        }),
+        (
+            proptest::option::of(any::<u8>().prop_map(TdnId)),
+            proptest::option::of(any::<u8>().prop_map(TdnId))
+        )
+            .prop_map(|(data_tdn, ack_tdn)| TcpOption::TdDataAck { data_tdn, ack_tdn }),
+        (any::<u64>(), any::<u32>(), any::<u16>()).prop_map(|(data_seq, subflow_seq, len)| {
+            TcpOption::MpDss {
+                data_seq,
+                subflow_seq,
+                len,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tcp_option_round_trip(opt in arb_option()) {
+        let mut buf = Vec::new();
+        opt.emit(&mut buf);
+        prop_assert_eq!(buf.len(), opt.wire_len());
+        let (parsed, used) = TcpOption::parse(&buf).unwrap().unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(parsed, opt);
+    }
+
+    #[test]
+    fn tcp_header_round_trip(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in arb_flags(),
+        window in any::<u16>(),
+        opts in vec(arb_option(), 0..3),
+        payload in vec(any::<u8>(), 0..256),
+    ) {
+        // Keep total option length within the 40-byte budget.
+        let mut total = 0;
+        let options: Vec<TcpOption> = opts
+            .into_iter()
+            .take_while(|o| {
+                total += o.wire_len();
+                total <= 40
+            })
+            .collect();
+        let header = TcpHeader { src_port, dst_port, seq, ack, flags, window, options };
+        let ip = Ipv4Header::new(0x0A000001, 0x0A000002, protocol::TCP);
+        let mut buf = Vec::new();
+        header.emit(&mut buf, &ip, &payload);
+        let (parsed, off) = TcpHeader::parse(&buf, &ip).unwrap();
+        prop_assert_eq!(parsed, header);
+        prop_assert_eq!(&buf[off..], &payload[..]);
+    }
+
+    #[test]
+    fn ipv4_round_trip(
+        dscp in 0u8..64,
+        ecn_bits in 0u8..4,
+        ident in any::<u16>(),
+        ttl in any::<u8>(),
+        proto in any::<u8>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        payload_len in 0usize..9000,
+    ) {
+        let h = Ipv4Header {
+            dscp,
+            ecn: Ecn::from_bits(ecn_bits),
+            ident,
+            ttl,
+            protocol: proto,
+            src,
+            dst,
+        };
+        let mut buf = Vec::new();
+        h.emit(&mut buf, payload_len);
+        let (parsed, total) = Ipv4Header::parse(&buf).unwrap();
+        prop_assert_eq!(parsed, h);
+        prop_assert_eq!(total as usize, 20 + payload_len);
+    }
+
+    #[test]
+    fn icmp_notification_round_trip(id in any::<u8>()) {
+        let n = TdnNotification { active_tdn: TdnId(id) };
+        let mut buf = Vec::new();
+        n.emit(&mut buf);
+        prop_assert_eq!(TdnNotification::parse(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn option_parser_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = TcpOption::parse_all(&bytes);
+    }
+
+    #[test]
+    fn ipv4_parser_never_panics(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Header::parse(&bytes);
+    }
+
+    #[test]
+    fn tcp_parser_never_panics(bytes in vec(any::<u8>(), 0..128)) {
+        let ip = Ipv4Header::new(1, 2, protocol::TCP);
+        let _ = TcpHeader::parse(&bytes, &ip);
+    }
+
+    #[test]
+    fn icmp_parser_never_panics(bytes in vec(any::<u8>(), 0..32)) {
+        let _ = TdnNotification::parse(&bytes);
+    }
+}

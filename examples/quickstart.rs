@@ -1,0 +1,66 @@
+//! Quickstart: one TDTCP flow over the paper's emulated hybrid RDCN.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the two-rack testbed of §5.1 (10 Gbps packet network at 100 µs
+//! RTT, 100 Gbps optical network at 40 µs RTT, 180 µs days / 20 µs
+//! nights, 6:1 schedule), runs a single long-lived TDTCP flow for 20 ms,
+//! and prints what it achieved against the analytic bounds.
+
+use rdcn::{analytic, Emulator, NetConfig};
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+
+fn main() {
+    // 1. The network: the paper's baseline testbed.
+    let net = NetConfig::paper_baseline();
+
+    // 2. The endpoints: a TDTCP sender and receiver with CUBIC inside
+    //    every TDN (§3.5), negotiated via TD_CAPABLE on the SYN (§4.2).
+    let factory: rdcn::EndpointFactory = Box::new(|i| {
+        let cfg = TdtcpConfig::default();
+        let cubic = Cubic::new(CcConfig::default());
+        let sender =
+            TdtcpConnection::connect(FlowId(i as u32), cfg.clone(), &cubic, SimTime::ZERO);
+        let receiver = TdtcpConnection::listen(FlowId(i as u32), cfg, &cubic);
+        (
+            Box::new(sender) as Box<dyn Transport>,
+            Box::new(receiver) as Box<dyn Transport>,
+        )
+    });
+
+    // 3. Run 20 ms of simulated time (100 optical weeks).
+    let horizon = SimTime::from_millis(20);
+    let emu = Emulator::new(net.clone(), 1, factory);
+    let res = emu.run(horizon);
+
+    // 4. Report.
+    let acked = res.total_acked();
+    let gbps = acked as f64 * 8.0 / horizon.as_nanos() as f64;
+    let optimal = analytic::optimal_bytes(&net, horizon);
+    let packet_only = analytic::packet_only_bytes(&net, horizon);
+    println!("TDTCP quickstart: 1 flow, {} ms on the hybrid RDCN", 20);
+    println!("  bytes acked      : {acked}");
+    println!("  mean goodput     : {gbps:.2} Gbps");
+    println!(
+        "  vs optimal       : {:.0}% (optimal would move {optimal:.0} bytes)",
+        acked as f64 / optimal * 100.0
+    );
+    println!(
+        "  vs packet-only   : {:.0}% (packet network alone: {packet_only:.0} bytes)",
+        acked as f64 / packet_only * 100.0
+    );
+    println!(
+        "  TDN switches seen : {}",
+        res.sender_stats[0].tdn_switches
+    );
+    println!(
+        "  retransmissions  : {} ({} spurious at receiver)",
+        res.sender_stats[0].retransmits, res.receiver_stats[0].spurious_retransmits
+    );
+    assert!(acked > 0, "the flow must make progress");
+}

@@ -1,0 +1,160 @@
+//! Multi-rack fabric tests: the demand-oblivious rotor serves every rack
+//! pair, the hybrid semantics hold (EPS always on, circuits accelerate),
+//! TDTCP exploits the circuits across many pairs, and runs are
+//! deterministic.
+
+use rdcn::{MultiRackConfig, MultiRackEmulator, PairFlow};
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{Config, Connection, FlowId, Transport};
+use tdtcp::{TdtcpConfig, TdtcpConnection};
+
+fn all_pairs(n: usize) -> Vec<PairFlow> {
+    let mut v = Vec::new();
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                v.push(PairFlow { src, dst });
+            }
+        }
+    }
+    v
+}
+
+fn cubic_ep(i: usize, bytes: u64) -> (Box<dyn Transport>, Box<dyn Transport>) {
+    let cfg = Config {
+        bytes_to_send: bytes,
+        ..Config::default()
+    };
+    let cc = CcConfig::default();
+    (
+        Box::new(Connection::connect(
+            FlowId(i as u32),
+            cfg.clone(),
+            Box::new(Cubic::new(cc)),
+            SimTime::ZERO,
+        )),
+        Box::new(Connection::listen(FlowId(i as u32), cfg, Box::new(Cubic::new(cc)))),
+    )
+}
+
+fn tdtcp_ep(i: usize, bytes: u64) -> (Box<dyn Transport>, Box<dyn Transport>) {
+    let mut cfg = TdtcpConfig::default();
+    cfg.tcp.bytes_to_send = bytes;
+    let template = Cubic::new(CcConfig::default());
+    (
+        Box::new(TdtcpConnection::connect(
+            FlowId(i as u32),
+            cfg.clone(),
+            &template,
+            SimTime::ZERO,
+        )),
+        Box::new(TdtcpConnection::listen(FlowId(i as u32), cfg, &template)),
+    )
+}
+
+#[test]
+fn every_pair_makes_progress() {
+    // 4 racks, a flow on every ordered pair: the rotor must serve all of
+    // them (demand-oblivious full mesh) and the EPS keeps everyone moving
+    // between circuit days.
+    let mut cfg = MultiRackConfig::paper_8rack();
+    cfg.racks = 4;
+    let flows = all_pairs(4);
+    let n = flows.len();
+    let emu = MultiRackEmulator::new(cfg, flows, |i, _| cubic_ep(i, u64::MAX));
+    let res = emu.run(SimTime::from_millis(10));
+    assert_eq!(res.sender_stats.len(), n);
+    for (i, s) in res.sender_stats.iter().enumerate() {
+        assert!(s.bytes_acked > 0, "pair flow {i} starved");
+    }
+}
+
+#[test]
+fn finite_transfers_complete_cross_rack() {
+    let mut cfg = MultiRackConfig::paper_8rack();
+    cfg.racks = 4;
+    let flows = vec![
+        PairFlow { src: 0, dst: 1 },
+        PairFlow { src: 2, dst: 3 },
+        PairFlow { src: 3, dst: 0 },
+    ];
+    let emu = MultiRackEmulator::new(cfg, flows, |i, _| tdtcp_ep(i, 2_000_000));
+    let res = emu.run(SimTime::from_millis(100));
+    for (i, r) in res.receiver_stats.iter().enumerate() {
+        assert_eq!(r.bytes_delivered, 2_000_000, "flow {i}");
+    }
+}
+
+#[test]
+fn circuits_accelerate_tdtcp_beyond_eps_share() {
+    // One flow per rack as sender (8 racks, ring pattern): each rack's
+    // EPS uplink gives the flow at most 10 Gbps; circuit days add 100G
+    // bursts 1/7 of the time. TDTCP's total must exceed what the EPS
+    // alone could have carried.
+    let cfg = MultiRackConfig::paper_8rack();
+    let flows: Vec<PairFlow> = (0..8)
+        .map(|r| PairFlow {
+            src: r,
+            dst: (r + 1) % 8,
+        })
+        .collect();
+    let horizon = SimTime::from_millis(15);
+    let run = |tdtcp: bool| {
+        let emu = MultiRackEmulator::new(cfg.clone(), flows.clone(), |i, _| {
+            if tdtcp {
+                tdtcp_ep(i, u64::MAX)
+            } else {
+                cubic_ep(i, u64::MAX)
+            }
+        });
+        emu.run(horizon).total_acked() as f64
+    };
+    let tdtcp = run(true);
+    let cubic = run(false);
+    // EPS-only ceiling: 8 racks x 10 Gbps x 15 ms = 150 MB.
+    let eps_ceiling = 8.0 * 10e9 / 8.0 * 0.015;
+    assert!(
+        tdtcp > eps_ceiling,
+        "TDTCP {tdtcp:.0} must exceed the EPS-only ceiling {eps_ceiling:.0}"
+    );
+    assert!(
+        tdtcp > cubic,
+        "TDTCP {tdtcp:.0} should beat CUBIC {cubic:.0} on the full fabric"
+    );
+}
+
+#[test]
+fn eps_shared_fairly_across_destinations() {
+    // One rack fans out to three others over its shared 10G EPS uplink:
+    // round-robin service must keep all three moving.
+    let mut cfg = MultiRackConfig::paper_8rack();
+    cfg.racks = 4;
+    let flows = vec![
+        PairFlow { src: 0, dst: 1 },
+        PairFlow { src: 0, dst: 2 },
+        PairFlow { src: 0, dst: 3 },
+    ];
+    let emu = MultiRackEmulator::new(cfg, flows, |i, _| cubic_ep(i, u64::MAX));
+    let res = emu.run(SimTime::from_millis(10));
+    let acked: Vec<u64> = res.sender_stats.iter().map(|s| s.bytes_acked).collect();
+    let max = *acked.iter().max().unwrap() as f64;
+    let min = *acked.iter().min().unwrap() as f64;
+    assert!(min > 0.0);
+    assert!(
+        max / min < 4.0,
+        "round-robin EPS service keeps fan-out flows comparable: {acked:?}"
+    );
+}
+
+#[test]
+fn deterministic() {
+    let run = || {
+        let mut cfg = MultiRackConfig::paper_8rack();
+        cfg.racks = 4;
+        let emu = MultiRackEmulator::new(cfg, all_pairs(4), |i, _| tdtcp_ep(i, u64::MAX));
+        let res = emu.run(SimTime::from_millis(5));
+        (res.total_acked(), res.drops, res.events)
+    };
+    assert_eq!(run(), run());
+}
