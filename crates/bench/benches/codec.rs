@@ -1,12 +1,14 @@
 //! Wire codec benchmarks: the per-packet encode/parse costs that bound
-//! any real deployment's fast path.
+//! any real deployment's fast path. Runs on the testkit microbench
+//! harness and writes `BENCH_codec.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use tcp::{Direction, FlowId, Segment, SeqNum};
+use testkit::bench::bb;
+use testkit::BenchSuite;
 use wire::ip::protocol;
 use wire::{Ipv4Header, TcpFlags, TcpHeader, TcpOption, TdnId, TdnNotification};
 
-fn bench_tcp_header(c: &mut Criterion) {
+fn bench_tcp_header(suite: &mut BenchSuite) {
     let ip = Ipv4Header::new(0x0A000001, 0x0A000002, protocol::TCP);
     let header = TcpHeader {
         src_port: 40000,
@@ -24,52 +26,51 @@ fn bench_tcp_header(c: &mut Criterion) {
         ],
     };
     let payload = vec![0u8; 1448];
-    c.bench_function("tcp_header_emit_1448B", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(1600);
-            header.emit(&mut buf, &ip, black_box(&payload));
-            black_box(buf)
-        })
+    suite.bench("tcp_header_emit_1448B", || {
+        let mut buf = Vec::with_capacity(1600);
+        header.emit(&mut buf, &ip, bb(&payload));
+        buf
     });
     let mut encoded = Vec::new();
     header.emit(&mut encoded, &ip, &payload);
-    c.bench_function("tcp_header_parse_1448B", |b| {
-        b.iter(|| TcpHeader::parse(black_box(&encoded), &ip).unwrap())
+    suite.bench("tcp_header_parse_1448B", || {
+        TcpHeader::parse(bb(&encoded), &ip).unwrap()
     });
 }
 
-fn bench_icmp(c: &mut Criterion) {
+fn bench_icmp(suite: &mut BenchSuite) {
     let n = TdnNotification {
         active_tdn: TdnId(1),
     };
-    c.bench_function("icmp_notification_emit", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(8);
-            n.emit(&mut buf);
-            black_box(buf)
-        })
+    suite.bench("icmp_notification_emit", || {
+        let mut buf = Vec::with_capacity(8);
+        n.emit(&mut buf);
+        buf
     });
     let mut buf = Vec::new();
     n.emit(&mut buf);
-    c.bench_function("icmp_notification_parse", |b| {
-        b.iter(|| TdnNotification::parse(black_box(&buf)).unwrap())
+    suite.bench("icmp_notification_parse", || {
+        TdnNotification::parse(bb(&buf)).unwrap()
     });
 }
 
-fn bench_segment_wire(c: &mut Criterion) {
+fn bench_segment_wire(suite: &mut BenchSuite) {
     let mut seg = Segment::new(FlowId(1), Direction::DataPath);
     seg.seq = SeqNum(5000);
     seg.len = 8948;
     seg.flags.ack = true;
     seg.data_tdn = Some(TdnId(1));
-    c.bench_function("segment_to_wire_jumbo", |b| {
-        b.iter(|| black_box(seg.to_wire(1, 2, 3, 4)))
-    });
+    suite.bench("segment_to_wire_jumbo", || seg.to_wire(1, 2, 3, 4));
     let bytes = seg.to_wire(1, 2, 3, 4);
-    c.bench_function("segment_from_wire_jumbo", |b| {
-        b.iter(|| Segment::from_wire(black_box(&bytes), FlowId(1), Direction::DataPath).unwrap())
+    suite.bench("segment_from_wire_jumbo", || {
+        Segment::from_wire(bb(&bytes), FlowId(1), Direction::DataPath).unwrap()
     });
 }
 
-criterion_group!(codec, bench_tcp_header, bench_icmp, bench_segment_wire);
-criterion_main!(codec);
+fn main() {
+    let mut suite = BenchSuite::new("codec");
+    bench_tcp_header(&mut suite);
+    bench_icmp(&mut suite);
+    bench_segment_wire(&mut suite);
+    suite.finish();
+}

@@ -1,34 +1,38 @@
 //! One bench per table/figure: miniature versions of every experiment in
 //! the harness, so regressions in any reproduction path show up in CI
-//! timing and the experiments stay runnable end to end.
+//! timing and the experiments stay runnable end to end. Runs on the
+//! testkit microbench harness and writes `BENCH_figures.json`.
 
 use bench::experiments::*;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use simcore::SimTime;
+use testkit::bench::BenchConfig;
+use testkit::BenchSuite;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(10);
+fn main() {
+    // Each iteration is a full (miniature) experiment taking tens of
+    // milliseconds; keep trial counts small like criterion's
+    // sample_size(10) did.
+    let mut g = BenchSuite::new("figures").with_config(BenchConfig {
+        trials: 10,
+        target_trial_ns: 50_000_000,
+        warmup_ns: 30_000_000,
+        max_iters_per_trial: 1 << 10,
+    });
     let h = SimTime::from_millis(10);
     let warm = SimTime::from_millis(2);
 
-    g.bench_function("table1", |b| {
-        b.iter(|| black_box(table1::run(h, warm).rows.len()))
-    });
-    g.bench_function("fig2", |b| b.iter(|| black_box(seqgraph::fig2(h).series.len())));
-    g.bench_function("fig7a", |b| b.iter(|| black_box(seqgraph::fig7a(h).series.len())));
-    g.bench_function("fig7b", |b| b.iter(|| black_box(voqfig::fig7b(h).variants.len())));
-    g.bench_function("fig8a", |b| b.iter(|| black_box(seqgraph::fig8a(h).series.len())));
-    g.bench_function("fig8b", |b| b.iter(|| black_box(voqfig::fig8b(h).variants.len())));
-    g.bench_function("fig9", |b| b.iter(|| black_box(seqgraph::fig9(h).series.len())));
-    g.bench_function("fig10", |b| b.iter(|| black_box(fig10::run(h).marked.len())));
-    g.bench_function("fig11", |b| b.iter(|| black_box(fig11::run(h).gain())));
-    g.bench_function("fig13", |b| b.iter(|| black_box(voqfig::fig13(h).variants.len())));
-    g.bench_function("fig14a", |b| b.iter(|| black_box(voqfig::fig14a(h).variants.len())));
-    g.bench_function("fig14b", |b| b.iter(|| black_box(voqfig::fig14b(h).variants.len())));
-    g.bench_function("notify_table", |b| b.iter(|| black_box(notify::run(2_000, 16).rows.len())));
+    g.bench("table1", || table1::run(h, warm).rows.len());
+    g.bench("fig2", || seqgraph::fig2(h).series.len());
+    g.bench("fig7a", || seqgraph::fig7a(h).series.len());
+    g.bench("fig7b", || voqfig::fig7b(h).variants.len());
+    g.bench("fig8a", || seqgraph::fig8a(h).series.len());
+    g.bench("fig8b", || voqfig::fig8b(h).variants.len());
+    g.bench("fig9", || seqgraph::fig9(h).series.len());
+    g.bench("fig10", || fig10::run(h).marked.len());
+    g.bench("fig11", || fig11::run(h).gain());
+    g.bench("fig13", || voqfig::fig13(h).variants.len());
+    g.bench("fig14a", || voqfig::fig14a(h).variants.len());
+    g.bench("fig14b", || voqfig::fig14b(h).variants.len());
+    g.bench("notify_table", || notify::run(2_000, 16).rows.len());
     g.finish();
 }
-
-criterion_group!(figures, bench_figures);
-criterion_main!(figures);

@@ -1,40 +1,38 @@
 //! Notification-path benchmarks (§5.4): the sampling model itself, plus
 //! the byte-level cost difference between constructing a fresh ICMP
 //! notification and stamping a cached one — the paper's optimization 1.
+//! Runs on the testkit microbench harness and writes
+//! `BENCH_notification.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rdcn::{NotifyConfig, NotifyModel};
 use simcore::DetRng;
+use testkit::BenchSuite;
 use wire::{TdnId, TdnNotification};
 
-fn bench_model(c: &mut Criterion) {
+fn bench_model(suite: &mut BenchSuite) {
     for (name, cfg) in [
         ("notify_sample_optimized", NotifyConfig::optimized()),
         ("notify_sample_unoptimized", NotifyConfig::unoptimized()),
     ] {
         let model = NotifyModel::new(cfg);
-        c.bench_function(name, |b| {
-            let mut rng = DetRng::new(1);
-            let mut i = 0usize;
-            b.iter(|| {
-                i = (i + 1) % 16;
-                black_box(model.sample(&mut rng, i).total())
-            })
+        let mut rng = DetRng::new(1);
+        let mut i = 0usize;
+        suite.bench(name, move || {
+            i = (i + 1) % 16;
+            model.sample(&mut rng, i).total()
         });
     }
 }
 
-fn bench_construction(c: &mut Criterion) {
+fn bench_construction(suite: &mut BenchSuite) {
     // Fresh construction: allocate + checksum each time.
-    c.bench_function("icmp_construct_fresh", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(8);
-            TdnNotification {
-                active_tdn: TdnId(1),
-            }
-            .emit(&mut buf);
-            black_box(buf)
-        })
+    suite.bench("icmp_construct_fresh", || {
+        let mut buf = Vec::with_capacity(8);
+        TdnNotification {
+            active_tdn: TdnId(1),
+        }
+        .emit(&mut buf);
+        buf
     });
     // Cached: pre-built packet, stamp the TDN ID and fix the checksum
     // incrementally (what the ToR-side caching optimization does).
@@ -43,21 +41,23 @@ fn bench_construction(c: &mut Criterion) {
         active_tdn: TdnId(0),
     }
     .emit(&mut cached);
-    c.bench_function("icmp_construct_cached_stamp", |b| {
-        let mut pkt = cached.clone();
-        let mut tdn = 0u8;
-        b.iter(|| {
-            tdn = tdn.wrapping_add(1);
-            pkt[4] = tdn;
-            // Recompute checksum over the 8-byte packet.
-            pkt[2] = 0;
-            pkt[3] = 0;
-            let ck = wire::checksum::internet_checksum(&pkt);
-            pkt[2..4].copy_from_slice(&ck.to_be_bytes());
-            black_box(pkt[2])
-        })
+    let mut pkt = cached.clone();
+    let mut tdn = 0u8;
+    suite.bench("icmp_construct_cached_stamp", move || {
+        tdn = tdn.wrapping_add(1);
+        pkt[4] = tdn;
+        // Recompute checksum over the 8-byte packet.
+        pkt[2] = 0;
+        pkt[3] = 0;
+        let ck = wire::checksum::internet_checksum(&pkt);
+        pkt[2..4].copy_from_slice(&ck.to_be_bytes());
+        pkt[2]
     });
 }
 
-criterion_group!(notification, bench_model, bench_construction);
-criterion_main!(notification);
+fn main() {
+    let mut suite = BenchSuite::new("notification");
+    bench_model(&mut suite);
+    bench_construction(&mut suite);
+    suite.finish();
+}

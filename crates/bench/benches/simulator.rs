@@ -1,97 +1,99 @@
 //! Simulation-kernel benchmarks: event-queue throughput, retransmission
 //! queue scoreboard operations, reassembly, and full end-to-end emulator
-//! event rate (the number that bounds how long the figures take).
+//! event rate (the number that bounds how long the figures take). Runs on
+//! the testkit microbench harness and writes `BENCH_simulator.json`.
 
 use bench::{Variant, Workload};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rdcn::NetConfig;
 use simcore::{EventQueue, SimTime};
 use tcp::recv::Reassembler;
 use tcp::rtx::{RtxQueue, TxSeg};
 use tcp::SeqNum;
+use testkit::bench::BenchConfig;
+use testkit::BenchSuite;
 use wire::TdnId;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
+fn bench_event_queue(suite: &mut BenchSuite) {
+    suite.bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
 }
 
-fn bench_rtx_queue(c: &mut Criterion) {
-    c.bench_function("rtx_sack_and_cumack_100seg", |b| {
-        b.iter(|| {
-            let mut q = RtxQueue::new();
-            for i in 0..100u32 {
-                q.push(TxSeg {
-                    seq: SeqNum(i * 1000),
-                    len: 1000,
-                    is_syn: false,
-                    is_fin: false,
-                    tdn: TdnId((i % 2) as u8),
-                    tx_time: SimTime::from_micros(u64::from(i)),
-                    first_tx: SimTime::from_micros(u64::from(i)),
-                    sacked: false,
-                    lost: false,
-                    retx_in_flight: false,
-                    retx_count: 0,
-                });
-            }
-            q.mark_sacked([(SeqNum(50_000), SeqNum(80_000))].into_iter());
-            q.mark_lost_below(SeqNum(50_000), |_| true);
-            let r = q.cum_ack(SeqNum(30_000));
-            black_box((r.acked.len(), q.counts()))
-        })
+fn bench_rtx_queue(suite: &mut BenchSuite) {
+    suite.bench("rtx_sack_and_cumack_100seg", || {
+        let mut q = RtxQueue::new();
+        for i in 0..100u32 {
+            q.push(TxSeg {
+                seq: SeqNum(i * 1000),
+                len: 1000,
+                is_syn: false,
+                is_fin: false,
+                tdn: TdnId((i % 2) as u8),
+                tx_time: SimTime::from_micros(u64::from(i)),
+                first_tx: SimTime::from_micros(u64::from(i)),
+                sacked: false,
+                lost: false,
+                retx_in_flight: false,
+                retx_count: 0,
+            });
+        }
+        q.mark_sacked([(SeqNum(50_000), SeqNum(80_000))].into_iter());
+        q.mark_lost_below(SeqNum(50_000), |_| true);
+        let r = q.cum_ack(SeqNum(30_000));
+        (r.acked.len(), q.counts())
     });
 }
 
-fn bench_reassembler(c: &mut Criterion) {
-    c.bench_function("reassembler_reordered_100seg", |b| {
-        b.iter(|| {
-            let mut rx = Reassembler::new(SeqNum(0), 1 << 20);
-            // Even segments first (gaps), then odd (fills).
-            for i in (0..100u32).step_by(2) {
-                rx.on_data(SeqNum(i * 1000), 1000);
-            }
-            for i in (1..100u32).step_by(2) {
-                rx.on_data(SeqNum(i * 1000), 1000);
-            }
-            black_box(rx.rcv_nxt())
-        })
+fn bench_reassembler(suite: &mut BenchSuite) {
+    suite.bench("reassembler_reordered_100seg", || {
+        let mut rx = Reassembler::new(SeqNum(0), 1 << 20);
+        // Even segments first (gaps), then odd (fills).
+        for i in (0..100u32).step_by(2) {
+            rx.on_data(SeqNum(i * 1000), 1000);
+        }
+        for i in (1..100u32).step_by(2) {
+            rx.on_data(SeqNum(i * 1000), 1000);
+        }
+        rx.rcv_nxt()
     });
 }
 
-fn bench_emulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("emulator");
-    g.sample_size(10);
+fn bench_emulator(suite: &mut BenchSuite) {
     for v in [Variant::Cubic, Variant::Tdtcp] {
-        g.bench_function(format!("end_to_end_3ms_{}", v.label()), |b| {
-            b.iter(|| {
-                let wl = Workload {
-                    flows: 4,
-                    ..Workload::bulk(v, SimTime::from_millis(3))
-                };
-                black_box(wl.run(&NetConfig::paper_baseline()).events)
-            })
+        suite.bench(&format!("emulator_end_to_end_3ms_{}", v.label()), || {
+            let wl = Workload {
+                flows: 4,
+                ..Workload::bulk(v, SimTime::from_millis(3))
+            };
+            wl.run(&NetConfig::paper_baseline()).events
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    simulator,
-    bench_event_queue,
-    bench_rtx_queue,
-    bench_reassembler,
-    bench_emulator
-);
-criterion_main!(simulator);
+fn main() {
+    let mut suite = BenchSuite::new("simulator");
+    bench_event_queue(&mut suite);
+    bench_rtx_queue(&mut suite);
+    bench_reassembler(&mut suite);
+    suite.finish();
+
+    // End-to-end emulator runs are orders of magnitude slower than the
+    // micro-ops above; use fewer, longer trials (criterion's old
+    // sample_size(10) equivalent).
+    let mut e2e = BenchSuite::new("simulator_e2e").with_config(BenchConfig {
+        trials: 10,
+        target_trial_ns: 50_000_000,
+        warmup_ns: 50_000_000,
+        max_iters_per_trial: 1 << 10,
+    });
+    bench_emulator(&mut e2e);
+    e2e.finish();
+}

@@ -63,9 +63,12 @@ fn run_tdtcp_cfg(label: &str, mutate: impl Fn(&mut TdtcpConfig), horizon: SimTim
     (label.to_string(), res.total_acked(), spurious, rtos)
 }
 
+/// Named tweak applied to the baseline TDTCP configuration.
+type ConfigTweak<'a> = (&'a str, Box<dyn Fn(&mut TdtcpConfig)>);
+
 /// The design-decision ablation table.
 pub fn design_ablation(horizon: SimTime) -> Vec<AblationRow> {
-    let configs: Vec<(&str, Box<dyn Fn(&mut TdtcpConfig)>)> = vec![
+    let configs: Vec<ConfigTweak> = vec![
         ("full tdtcp", Box::new(|_c: &mut TdtcpConfig| {})),
         (
             "no per-TDN state",

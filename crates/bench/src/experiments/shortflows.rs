@@ -63,14 +63,19 @@ pub fn short_flows(
     let mut fct = Cdf::new();
     let mut completed = 0;
     let mut started = 0;
-    for i in background..background + n_short {
-        if specs_clone[i].start >= horizon {
+    for (spec, completion) in specs_clone
+        .iter()
+        .zip(&res.completions)
+        .skip(background)
+        .take(n_short)
+    {
+        if spec.start >= horizon {
             continue;
         }
         started += 1;
-        if let Some(done) = res.completions[i] {
+        if let Some(done) = completion {
             completed += 1;
-            fct.add(done.saturating_since(specs_clone[i].start).as_micros() as f64);
+            fct.add(done.saturating_since(spec.start).as_micros() as f64);
         }
     }
     ShortFlowResult {

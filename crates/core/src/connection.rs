@@ -53,10 +53,12 @@ pub struct TdtcpConfig {
 
 impl Default for TdtcpConfig {
     fn default() -> Self {
-        let mut tcp_cfg = tcp::Config::default();
         // Sender pacing prevents the cwnd-sized burst at every TDN switch
         // from overflowing the shallow ToR VOQ (§5.2's "initial burst").
-        tcp_cfg.pacing = true;
+        let tcp_cfg = tcp::Config {
+            pacing: true,
+            ..tcp::Config::default()
+        };
         TdtcpConfig {
             tcp: tcp_cfg,
             num_tdns: 2,

@@ -2,14 +2,15 @@
 //! notifications, crafted ACKs, timer fires and polls never violate the
 //! state invariants (no panic, per-TDN accounting partitions the total,
 //! the current TDN always has a state set, sequence progress is
-//! monotone).
+//! monotone), and connection evolution is deterministic under replay.
+//! Runs on the in-repo `testkit` harness.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use simcore::SimTime;
 use tcp::cc::{CcConfig, Cubic};
 use tcp::{FlowId, SackBlocks, Segment, SeqNum, Transport};
 use tdtcp::{TdtcpConfig, TdtcpConnection};
+use testkit::prop::{option_of, range, tuple3, vec_of, weighted, Gen};
+use testkit::{tk_assert, tk_assert_eq};
 use wire::TdnId;
 
 const MSS: u32 = 1000;
@@ -18,23 +19,33 @@ const MSS: u32 = 1000;
 enum Op {
     Poll,
     Notify(u8),
-    Ack { ack_kmss: u32, sack: Option<(u32, u32)>, ack_tdn: u8 },
+    Ack {
+        ack_kmss: u32,
+        sack: Option<(u32, u32)>,
+        ack_tdn: u8,
+    },
     Timer,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        3 => Just(Op::Poll),
-        1 => (0u8..4).prop_map(Op::Notify),
-        3 => (0u32..64, proptest::option::of((0u32..64, 1u32..16)), 0u8..3).prop_map(
-            |(ack_kmss, sack, ack_tdn)| Op::Ack {
+fn arb_op() -> Gen<Op> {
+    weighted(vec![
+        (3, testkit::prop::just(Op::Poll)),
+        (1, range(0u8..4).map(Op::Notify)),
+        (
+            3,
+            tuple3(
+                range(0u32..64),
+                option_of(testkit::prop::tuple2(range(0u32..64), range(1u32..16))),
+                range(0u8..3),
+            )
+            .map(|(ack_kmss, sack, ack_tdn)| Op::Ack {
                 ack_kmss,
                 sack: sack.map(|(s, l)| (s, s + l)),
                 ack_tdn,
-            }
+            }),
         ),
-        1 => Just(Op::Timer),
-    ]
+        (1, testkit::prop::just(Op::Timer)),
+    ])
 }
 
 fn establish() -> TdtcpConnection {
@@ -59,57 +70,65 @@ fn establish() -> TdtcpConnection {
     a
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Apply one op to a connection; returns the updated simulated clock.
+fn apply_op(conn: &mut TdtcpConnection, op: &Op, mut now_us: u64) -> u64 {
+    let now = SimTime::from_micros(now_us);
+    match *op {
+        Op::Poll => {
+            // Drain at most a window's worth to bound the test.
+            for _ in 0..64 {
+                if conn.poll_transmit(now).is_none() {
+                    break;
+                }
+            }
+        }
+        Op::Notify(tdn) => conn.on_notification(now, TdnId(tdn)),
+        Op::Ack {
+            ack_kmss,
+            sack,
+            ack_tdn,
+        } => {
+            let mut seg = Segment::new(FlowId(1), tcp::Direction::AckPath);
+            seg.flags.ack = true;
+            seg.ack = SeqNum(1) + ack_kmss * MSS;
+            seg.wnd = 1 << 22;
+            seg.ack_tdn = Some(TdnId(ack_tdn));
+            if let Some((l, r)) = sack {
+                let mut sb = SackBlocks::EMPTY;
+                sb.push(SeqNum(1) + l * MSS, SeqNum(1) + r * MSS);
+                seg.sack = sb;
+            }
+            conn.handle_segment(now, &seg);
+        }
+        Op::Timer => {
+            if let Some(t) = conn.next_timer_at() {
+                let fire = t.as_micros().max(now_us) + 1;
+                now_us = fire;
+                conn.handle_timer(SimTime::from_micros(fire));
+            }
+        }
+    }
+    now_us
+}
 
-    #[test]
-    fn random_op_sequences_keep_invariants(ops in vec(arb_op(), 1..120)) {
+testkit::props! {
+    #[cases(64)]
+    fn random_op_sequences_keep_invariants(ops in vec_of(arb_op(), 1..120)) {
         let mut conn = establish();
         let mut now_us = 200u64;
         let mut last_acked = 0u64;
-        for op in ops {
+        for op in &ops {
             now_us += 37;
-            let now = SimTime::from_micros(now_us);
-            match op {
-                Op::Poll => {
-                    // Drain at most a window's worth to bound the test.
-                    for _ in 0..64 {
-                        if conn.poll_transmit(now).is_none() {
-                            break;
-                        }
-                    }
-                }
-                Op::Notify(tdn) => conn.on_notification(now, TdnId(tdn)),
-                Op::Ack { ack_kmss, sack, ack_tdn } => {
-                    let mut seg = Segment::new(FlowId(1), tcp::Direction::AckPath);
-                    seg.flags.ack = true;
-                    seg.ack = SeqNum(1) + ack_kmss * MSS;
-                    seg.wnd = 1 << 22;
-                    seg.ack_tdn = Some(TdnId(ack_tdn));
-                    if let Some((l, r)) = sack {
-                        let mut sb = SackBlocks::EMPTY;
-                        sb.push(SeqNum(1) + l * MSS, SeqNum(1) + r * MSS);
-                        seg.sack = sb;
-                    }
-                    conn.handle_segment(now, &seg);
-                }
-                Op::Timer => {
-                    if let Some(t) = conn.next_timer_at() {
-                        let fire = t.as_micros().max(now_us) + 1;
-                        now_us = fire;
-                        conn.handle_timer(SimTime::from_micros(fire));
-                    }
-                }
-            }
+            now_us = apply_op(&mut conn, op, now_us);
 
             // --- invariants ---
             // Sequence progress is monotone.
             let acked = conn.stats().bytes_acked;
-            prop_assert!(acked >= last_acked);
+            tk_assert!(acked >= last_acked);
             last_acked = acked;
             // The current TDN is always indexable.
             let cur = conn.current_tdn();
-            prop_assert!(cur.index() < conn.num_tdn_states().max(1) + 256);
+            tk_assert!(cur.index() < conn.num_tdn_states().max(1) + 256);
             let _ = conn.tdn_state(cur); // must not panic
             // Per-TDN pipes never exceed the total outstanding.
             let total = conn.total_packets_out();
@@ -119,20 +138,20 @@ proptest! {
             }
             // pipe excludes lost/sacked so the partition is <= total
             // (plus retransmissions in flight, bounded by total).
-            prop_assert!(per <= total * 2 + 2);
+            tk_assert!(per <= total * 2 + 2);
         }
     }
 
-    /// Stats counters are monotone under any op sequence.
-    #[test]
-    fn counters_monotone(ops in vec(arb_op(), 1..80)) {
+    // Stats counters are monotone under any op sequence.
+    #[cases(64)]
+    fn counters_monotone(ops in vec_of(arb_op(), 1..80)) {
         let mut conn = establish();
         let mut now_us = 200u64;
         let mut prev = *conn.stats();
-        for op in ops {
+        for op in &ops {
             now_us += 53;
             let now = SimTime::from_micros(now_us);
-            match op {
+            match *op {
                 Op::Poll => { let _ = conn.poll_transmit(now); }
                 Op::Notify(t) => conn.on_notification(now, TdnId(t)),
                 Op::Ack { ack_kmss, .. } => {
@@ -145,11 +164,36 @@ proptest! {
                 Op::Timer => conn.handle_timer(now),
             }
             let s = *conn.stats();
-            prop_assert!(s.bytes_sent >= prev.bytes_sent);
-            prop_assert!(s.retransmits >= prev.retransmits);
-            prop_assert!(s.tdn_switches >= prev.tdn_switches);
-            prop_assert!(s.segs_received >= prev.segs_received);
+            tk_assert!(s.bytes_sent >= prev.bytes_sent);
+            tk_assert!(s.retransmits >= prev.retransmits);
+            tk_assert!(s.tdn_switches >= prev.tdn_switches);
+            tk_assert!(s.segs_received >= prev.segs_received);
             prev = s;
+        }
+    }
+
+    // New with the testkit port: connection evolution is a pure function
+    // of the op sequence — replaying identical ops on a fresh connection
+    // reproduces byte-identical stats digests at every step. This is the
+    // per-connection half of the golden-trace determinism guarantee.
+    #[cases(64)]
+    fn replay_is_deterministic(ops in vec_of(arb_op(), 1..100)) {
+        let mut a = establish();
+        let mut b = establish();
+        let (mut now_a, mut now_b) = (200u64, 200u64);
+        for op in &ops {
+            now_a += 37;
+            now_b += 37;
+            now_a = apply_op(&mut a, op, now_a);
+            now_b = apply_op(&mut b, op, now_b);
+            tk_assert_eq!(now_a, now_b, "timer schedules must agree");
+            tk_assert_eq!(
+                a.stats().digest(),
+                b.stats().digest(),
+                "stats diverged after {op:?}"
+            );
+            tk_assert_eq!(a.current_tdn(), b.current_tdn());
+            tk_assert_eq!(a.total_packets_out(), b.total_packets_out());
         }
     }
 }

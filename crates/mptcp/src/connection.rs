@@ -39,8 +39,10 @@ pub struct MptcpConfig {
 
 impl Default for MptcpConfig {
     fn default() -> Self {
-        let mut tcp_cfg = tcp::Config::default();
-        tcp_cfg.bytes_to_send = 0; // subflows are fed by the scheduler
+        let tcp_cfg = tcp::Config {
+            bytes_to_send: 0, // subflows are fed by the scheduler
+            ..tcp::Config::default()
+        };
         MptcpConfig {
             tcp: tcp_cfg,
             bytes_to_send: u64::MAX,

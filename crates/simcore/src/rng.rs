@@ -2,75 +2,81 @@
 //!
 //! All stochastic behaviour in the simulator (cross traffic, notification
 //! latency jitter, loss injection in tests) draws from a [`DetRng`] seeded
-//! explicitly, so identical seeds yield identical runs. We use `StdRng`
-//! (a seedable ChaCha variant) rather than thread-local entropy.
+//! explicitly, so identical seeds yield identical runs. The generator is
+//! `testkit`'s xoshiro256++ ([`testkit::TkRng`]) — in-repo, golden-pinned,
+//! and free of registry dependencies — rather than thread-local entropy.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use testkit::rng::{TkRng, UniformRange};
 
 /// A deterministic, explicitly seeded RNG.
 pub struct DetRng {
-    inner: StdRng,
-    seed: u64,
+    inner: TkRng,
 }
 
 impl DetRng {
     /// Create a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
+            inner: TkRng::new(seed),
         }
     }
 
     /// The seed this generator was created with.
     pub fn seed(&self) -> u64 {
-        self.seed
+        self.inner.seed()
     }
 
     /// Derive an independent child generator; `label` decorrelates children
     /// created from the same parent seed (e.g. one stream per flow).
     pub fn fork(&self, label: u64) -> DetRng {
-        // SplitMix64-style mix of (seed, label) for the child seed.
-        let mut z = self.seed ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        DetRng::new(z ^ (z >> 31))
+        DetRng {
+            inner: self.inner.fork(label),
+        }
     }
 
-    /// Uniform sample from a range.
+    /// Uniform sample from an integer or float range.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
-        R: SampleRange<T>,
+        R: UniformRange<T>,
     {
         self.inner.gen_range(range)
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        self.inner.gen_f64()
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn chance(&mut self, p: f64) -> bool {
-        debug_assert!((0.0..=1.0).contains(&p));
-        self.inner.gen::<f64>() < p
+        self.inner.chance(p)
     }
 
     /// Exponentially distributed sample with the given mean (used for
     /// Poisson inter-arrival cross traffic).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        debug_assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        -mean * u.ln()
+        self.inner.exponential(mean)
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        self.inner.shuffle(xs)
+    }
+
+    /// Uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        self.inner.choose(xs)
+    }
+
+    /// `k` distinct indices sampled uniformly from `0..n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        self.inner.sample_indices(n, k)
     }
 }
 
 impl std::fmt::Debug for DetRng {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DetRng").field("seed", &self.seed).finish()
+        f.debug_struct("DetRng").field("seed", &self.seed()).finish()
     }
 }
 
@@ -127,5 +133,17 @@ mod tests {
         let mut r = DetRng::new(9);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_and_choose_deterministic() {
+        let mut a = DetRng::new(11);
+        let mut b = DetRng::new(11);
+        let mut xs: Vec<u32> = (0..20).collect();
+        let mut ys: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut xs);
+        b.shuffle(&mut ys);
+        assert_eq!(xs, ys);
+        assert_eq!(a.choose(&xs), b.choose(&ys));
     }
 }

@@ -7,21 +7,13 @@
 //! averages "across thousands of optical weeks" for Fig. 2).
 
 use crate::time::{SimDuration, SimTime};
-use serde::Serialize;
 
 /// A named series of `(time, value)` samples, non-decreasing in time.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     /// Display name, e.g. `"tdtcp"` or `"voq_len"`.
     pub name: String,
     points: Vec<(SimTime, f64)>,
-}
-
-// SimTime serializes as its nanosecond count.
-impl Serialize for SimTime {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.as_nanos())
-    }
 }
 
 impl TimeSeries {

@@ -145,10 +145,7 @@ impl Reassembler {
     /// After `rcv_nxt` advanced, deliver any intervals that became
     /// contiguous with it.
     fn drain_contiguous(&mut self, out: &mut RxOutcome) {
-        loop {
-            let Some(pos) = self.ooo.iter().position(|&(s, _)| s == self.rcv_nxt) else {
-                break;
-            };
+        while let Some(pos) = self.ooo.iter().position(|&(s, _)| s == self.rcv_nxt) {
             let (_, e) = self.ooo.remove(pos);
             out.delivered += e - self.rcv_nxt;
             self.rcv_nxt = e;

@@ -69,6 +69,67 @@ impl ConnStats {
         }
         (self.bytes_delivered as f64 * 8.0) / elapsed.as_secs_f64()
     }
+
+    /// Feed every counter into `d`, in declaration order. Two runs whose
+    /// connections digest identically behaved identically counter-for-
+    /// counter — the building block of the golden-trace determinism suite.
+    pub fn write_digest(&self, d: &mut testkit::Digest) {
+        let ConnStats {
+            bytes_sent,
+            bytes_acked,
+            bytes_delivered,
+            segs_sent,
+            acks_sent,
+            segs_received,
+            retransmits,
+            spurious_retransmits,
+            dup_segs_received,
+            fast_recoveries,
+            reorder_events,
+            reorder_marked_pkts,
+            rtos,
+            tlps,
+            ce_received,
+            ece_received,
+            drops,
+            tdn_switches,
+            cross_tdn_rtt_discards,
+            relaxed_skips,
+            reinjections,
+        } = *self;
+        for v in [
+            bytes_sent,
+            bytes_acked,
+            bytes_delivered,
+            segs_sent,
+            acks_sent,
+            segs_received,
+            retransmits,
+            spurious_retransmits,
+            dup_segs_received,
+            fast_recoveries,
+            reorder_events,
+            reorder_marked_pkts,
+            rtos,
+            tlps,
+            ce_received,
+            ece_received,
+            drops,
+            tdn_switches,
+            cross_tdn_rtt_discards,
+            relaxed_skips,
+            reinjections,
+        ] {
+            d.write_u64(v);
+        }
+    }
+
+    /// One-shot digest of these counters.
+    pub fn digest(&self) -> u64 {
+        let mut d = testkit::Digest::new();
+        self.write_digest(&mut d);
+        d.finish()
+    }
 }
 
 #[cfg(test)]

@@ -26,10 +26,12 @@ enum Ev {
 /// Drive both endpoints until quiescent or `deadline`. `drop_tx` decides,
 /// per segment leaving endpoint 0 (the sender), whether the network drops
 /// it; `delay` is the one-way latency both ways.
+type DropFn = Box<dyn FnMut(&Segment, u64) -> bool>;
+
 struct Pipe {
     q: EventQueue<Ev>,
     delay: SimDuration,
-    drop_tx: Box<dyn FnMut(&Segment, u64) -> bool>,
+    drop_tx: DropFn,
     tx_count: u64,
     timer_scheduled: [Option<(SimTime, simcore::EventId)>; 2],
 }

@@ -1,0 +1,278 @@
+//! A lightweight microbench harness (criterion replacement).
+//!
+//! Each benchmark auto-calibrates an iteration count so one trial takes a
+//! few milliseconds, runs a warmup, then measures `trials` trials and
+//! reports min/mean/median/p95 nanoseconds per iteration. [`BenchSuite`]
+//! collects results and writes them as `BENCH_<suite>.json` (into
+//! `TK_BENCH_DIR` if set, else the current directory), seeding the repo's
+//! perf trajectory: successive runs of the same suite can be diffed
+//! mechanically.
+//!
+//! ```ignore
+//! let mut suite = BenchSuite::new("codec");
+//! suite.bench("tcp_header_emit", || { /* work */ });
+//! suite.finish(); // prints a table and writes BENCH_codec.json
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+pub use std::hint::black_box as bb;
+
+/// Summary statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark id within the suite.
+    pub name: String,
+    /// Iterations per timed trial (auto-calibrated).
+    pub iters_per_trial: u64,
+    /// Number of timed trials.
+    pub trials: u32,
+    /// Fastest trial.
+    pub min_ns: f64,
+    /// Mean across trials.
+    pub mean_ns: f64,
+    /// Median across trials.
+    pub median_ns: f64,
+    /// 95th percentile across trials.
+    pub p95_ns: f64,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Timed trials per benchmark.
+    pub trials: u32,
+    /// Target wall time per trial, in nanoseconds (drives calibration).
+    pub target_trial_ns: u64,
+    /// Warmup time before measuring, in nanoseconds.
+    pub warmup_ns: u64,
+    /// Hard cap on iterations per trial.
+    pub max_iters_per_trial: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            trials: 15,
+            target_trial_ns: 5_000_000,
+            warmup_ns: 20_000_000,
+            max_iters_per_trial: 1 << 22,
+        }
+    }
+}
+
+/// A named collection of benchmarks written out as one JSON file.
+pub struct BenchSuite {
+    name: String,
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl BenchSuite {
+    /// New suite with default configuration.
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchSuite {
+            name: name.into(),
+            cfg: BenchConfig::default(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Override the configuration (e.g. fewer trials for slow end-to-end
+    /// benches).
+    pub fn with_config(mut self, cfg: BenchConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set only the trial count.
+    pub fn trials(mut self, trials: u32) -> Self {
+        self.cfg.trials = trials;
+        self
+    }
+
+    /// Run one benchmark: `f` is invoked repeatedly; its return value is
+    /// passed through [`black_box`] so the work is not optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let r = run_bench(&self.cfg, name, &mut f);
+        eprintln!(
+            "bench {}/{:<40} median {:>12}  p95 {:>12}  (x{} iters, {} trials)",
+            self.name,
+            r.name,
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns),
+            r.iters_per_trial,
+            r.trials
+        );
+        self.results.push(r);
+    }
+
+    /// Write `BENCH_<suite>.json` and return its path.
+    pub fn finish(self) -> std::path::PathBuf {
+        let dir = std::env::var("TK_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        let _ = std::fs::create_dir_all(&dir);
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.name));
+        let json = self.to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("bench {}: failed to write {}: {e}", self.name, path.display());
+        } else {
+            eprintln!("bench {}: wrote {}", self.name, path.display());
+        }
+        path
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"suite\": {},\n", json_str(&self.name)));
+        s.push_str("  \"unit\": \"ns_per_iter\",\n");
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": {}, \"iters_per_trial\": {}, \"trials\": {}, \
+                 \"min\": {:.2}, \"mean\": {:.2}, \"median\": {:.2}, \"p95\": {:.2}}}{}\n",
+                json_str(&r.name),
+                r.iters_per_trial,
+                r.trials,
+                r.min_ns,
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn time_iters<R>(f: &mut impl FnMut() -> R, iters: u64) -> u64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as u64
+}
+
+fn run_bench<R>(cfg: &BenchConfig, name: &str, f: &mut impl FnMut() -> R) -> BenchResult {
+    // Calibrate: grow the iteration count until one batch takes long
+    // enough to time reliably, then scale to the target trial time.
+    let mut iters = 1u64;
+    let mut elapsed = time_iters(f, iters);
+    while elapsed < 100_000 && iters < cfg.max_iters_per_trial {
+        iters = (iters * 4).min(cfg.max_iters_per_trial);
+        elapsed = time_iters(f, iters);
+    }
+    let per_iter = (elapsed / iters).max(1);
+    let iters_per_trial = (cfg.target_trial_ns / per_iter).clamp(1, cfg.max_iters_per_trial);
+
+    // Warmup for a fixed time budget.
+    let warm_start = Instant::now();
+    while (warm_start.elapsed().as_nanos() as u64) < cfg.warmup_ns {
+        black_box(f());
+    }
+
+    // Timed trials.
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.trials as usize);
+    for _ in 0..cfg.trials {
+        let ns = time_iters(f, iters_per_trial);
+        samples.push(ns as f64 / iters_per_trial as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = samples.len();
+    let min_ns = samples[0];
+    let mean_ns = samples.iter().sum::<f64>() / n as f64;
+    let median_ns = if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    };
+    let p95_ns = samples[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+
+    BenchResult {
+        name: name.to_string(),
+        iters_per_trial,
+        trials: cfg.trials,
+        min_ns,
+        mean_ns,
+        median_ns,
+        p95_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_sane_stats() {
+        let cfg = BenchConfig {
+            trials: 5,
+            target_trial_ns: 200_000,
+            warmup_ns: 100_000,
+            max_iters_per_trial: 1 << 16,
+        };
+        let r = run_bench(&cfg, "spin", &mut || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(r.trials, 5);
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let mut s = BenchSuite::new("self\"test").with_config(BenchConfig {
+            trials: 3,
+            target_trial_ns: 100_000,
+            warmup_ns: 50_000,
+            max_iters_per_trial: 1 << 12,
+        });
+        s.bench("noop", || 1u32);
+        let json = s.to_json();
+        assert!(json.contains("\"suite\": \"self\\\"test\""));
+        assert!(json.contains("\"name\": \"noop\""));
+        assert!(json.contains("\"median\""));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,147 @@
+//! Stable digests of run statistics for the golden-trace determinism
+//! suite.
+//!
+//! [`Digest`] is FNV-1a (64-bit) with typed, length-framed write methods:
+//! two runs that feed the same sequence of typed values produce the same
+//! digest, and any divergence — one extra counter, one float a ULP off —
+//! changes it. Crates digest their stats structs (`ConnStats`,
+//! `RunResult`, …) into a single `u64` that determinism tests compare
+//! across runs with identical seeds.
+//!
+//! FNV is not cryptographic; it is stable, dependency-free, and plenty to
+//! detect nondeterminism.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a digest over typed values.
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// Fresh digest.
+    pub fn new() -> Self {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feed a `u64` (little-endian framed).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feed a `u32`.
+    pub fn write_u32(&mut self, v: u32) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feed an `i64`.
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feed a `usize` (widened to `u64` so 32/64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Feed an `f64` by exact bit pattern (NaN-sensitive on purpose: a
+    /// NaN appearing in stats is itself a determinism bug worth catching).
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Feed a bool.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.write_bytes(&[u8::from(v)])
+    }
+
+    /// Feed a length-prefixed string.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+
+    /// Digest as a fixed-width hex string (handy in assertions and logs).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.state)
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.write_bytes(bytes);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(digest_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest_bytes(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn typed_writes_are_order_sensitive() {
+        let mut a = Digest::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Digest::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn identical_sequences_agree() {
+        let build = || {
+            let mut d = Digest::new();
+            d.write_str("seq")
+                .write_u64(42)
+                .write_f64(0.25)
+                .write_bool(true);
+            d.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        let mut a = Digest::new();
+        a.write_f64(0.1 + 0.2);
+        let mut b = Digest::new();
+        b.write_f64(0.3);
+        // 0.1 + 0.2 != 0.3 in f64; the digest must see the difference.
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_16_chars() {
+        assert_eq!(Digest::new().hex().len(), 16);
+    }
+}

@@ -1,0 +1,83 @@
+//! Growable byte-buffer writing, replacing the `bytes` crate's `BufMut`.
+//!
+//! Packet emitters only ever append big-endian integers and slices to a
+//! growable buffer, so this trait carries exactly that surface. All
+//! multi-byte writes are network byte order (big-endian), matching the
+//! on-wire formats this crate produces.
+
+/// Append-only byte sink used by all `emit` methods.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u8(0xAB);
+        v.put_u16(0x0102);
+        v.put_u32(0x0304_0506);
+        v.put_u64(0x0708_090A_0B0C_0D0E);
+        v.put_i32(-2);
+        v.put_slice(&[0xFF]);
+        assert_eq!(
+            v,
+            [
+                0xAB, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0A, 0x0B,
+                0x0C, 0x0D, 0x0E, 0xFF, 0xFF, 0xFF, 0xFE, 0xFF
+            ]
+        );
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn emit<B: BufMut>(buf: &mut B) {
+            buf.put_u16(0xBEEF);
+        }
+        let mut v = Vec::new();
+        emit(&mut v);
+        emit(&mut (&mut v));
+        assert_eq!(v, [0xBE, 0xEF, 0xBE, 0xEF]);
+    }
+}

@@ -9,7 +9,7 @@
 use crate::checksum;
 use crate::error::{ParseError, Result};
 use crate::tdn::TdnId;
-use bytes::BufMut;
+use crate::buf::BufMut;
 
 /// Experimental ICMP type used for TDN-change notifications (RFC 4727
 /// reserves 253/254 for experimentation).

@@ -3,7 +3,7 @@
 
 use crate::checksum;
 use crate::error::{ParseError, Result};
-use bytes::BufMut;
+use crate::buf::BufMut;
 
 /// ECN codepoint in the low two bits of the (former) TOS byte (RFC 3168).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod checksum;
 pub mod error;
 pub mod icmp;
@@ -22,6 +23,7 @@ pub mod pcap;
 pub mod tcp;
 pub mod tdn;
 
+pub use buf::BufMut;
 pub use error::{ParseError, Result};
 pub use icmp::TdnNotification;
 pub use ip::{Ecn, Ipv4Header};

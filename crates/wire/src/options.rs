@@ -15,7 +15,7 @@
 
 use crate::error::{ParseError, Result};
 use crate::tdn::TdnId;
-use bytes::BufMut;
+use crate::buf::BufMut;
 
 /// Private TCP option kind used by TDTCP (unassigned by IANA; the data
 /// center operator controls both ends, §3.3).

@@ -6,7 +6,7 @@
 //! as the `wire` encoders produce it.
 
 use crate::error::{ParseError, Result};
-use bytes::BufMut;
+use crate::buf::BufMut;
 
 const MAGIC: u32 = 0xA1B2_C3D4; // microsecond timestamps, native order written big-endian
 const VERSION_MAJOR: u16 = 2;

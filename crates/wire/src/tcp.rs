@@ -5,7 +5,7 @@ use crate::checksum;
 use crate::error::{ParseError, Result};
 use crate::ip::Ipv4Header;
 use crate::options::TcpOption;
-use bytes::BufMut;
+use crate::buf::BufMut;
 
 /// TCP header flags (we omit URG; nothing in the reproduction uses it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI gate. Everything here runs fully offline: the workspace has
+# zero registry dependencies by design (see DESIGN.md), so an empty
+# cargo registry — or no network at all — must never break the build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "CI OK"

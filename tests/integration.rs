@@ -175,8 +175,10 @@ fn three_tdn_schedule() {
     };
     let cc = CcConfig::default();
     let mk_tdtcp: rdcn::EndpointFactory = Box::new(move |i| {
-        let mut cfg = TdtcpConfig::default();
-        cfg.num_tdns = 3;
+        let cfg = TdtcpConfig {
+            num_tdns: 3,
+            ..TdtcpConfig::default()
+        };
         let template = Cubic::new(cc);
         (
             Box::new(TdtcpConnection::connect(
