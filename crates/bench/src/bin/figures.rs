@@ -5,6 +5,7 @@
 //!
 //! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
 //!              fig14a fig14b table1 notify ablation regime notify-sweep
+//!              faults
 //!              all   (everything above)
 //!              quick (table1 + fig10 + fig11 at a reduced horizon)
 //! ```
@@ -40,7 +41,7 @@ fn main() {
         wanted = [
             "table1", "fig2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig13", "fig14a", "fig14b", "notify", "ablation", "regime", "notify-sweep",
-            "shortflows", "fairness", "multirack",
+            "shortflows", "fairness", "multirack", "faults",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -98,6 +99,7 @@ fn main() {
                 shortflows::print_short_flows(&rows);
             }
             "multirack" => multirack::run(SimTime::from_millis(15)).print(),
+            "faults" => faultsweep::run(horizon).print(),
             "fairness" => {
                 use bench::Variant;
                 let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]

@@ -3,6 +3,7 @@
 //! knows how to print itself in the row/series form the paper reports.
 
 pub mod ablation;
+pub mod faultsweep;
 pub mod fig10;
 pub mod fig11;
 pub mod multirack;

@@ -82,6 +82,36 @@ impl Variant {
         cfg.notifications = true;
     }
 
+    /// Build the endpoint factory for this variant with `bytes` per flow,
+    /// tuned to `net`: TDTCP endpoints get a notification watchdog sized
+    /// for the schedule's slot, so lost notifications degrade goodput
+    /// instead of stranding the host on a stale TDN.
+    pub fn factory_for(self, net: &NetConfig, bytes: u64) -> rdcn::EndpointFactory<'static> {
+        match self {
+            Variant::Tdtcp => {
+                let cc = CcConfig::default();
+                let watchdog = tdtcp::WatchdogConfig::for_slot(net.schedule.slot_len());
+                Box::new(move |i| {
+                    let mut cfg = TdtcpConfig::default();
+                    cfg.tcp.bytes_to_send = bytes;
+                    cfg.watchdog = Some(watchdog);
+                    let template = Cubic::new(cc);
+                    (
+                        Box::new(TdtcpConnection::connect(
+                            FlowId(i as u32),
+                            cfg.clone(),
+                            &template,
+                            SimTime::ZERO,
+                        )) as Box<dyn Transport>,
+                        Box::new(TdtcpConnection::listen(FlowId(i as u32), cfg, &template))
+                            as Box<dyn Transport>,
+                    )
+                })
+            }
+            _ => self.factory(bytes),
+        }
+    }
+
     /// Build the endpoint factory for this variant with `bytes` per flow.
     pub fn factory(self, bytes: u64) -> rdcn::EndpointFactory<'static> {
         let cc = CcConfig::default();

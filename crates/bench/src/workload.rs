@@ -42,7 +42,8 @@ impl Workload {
         let mut net = base.clone();
         net.seed = self.seed;
         self.variant.apply_net_config(&mut net);
-        let mut emu = Emulator::new(net, self.flows, self.variant.factory(self.bytes_per_flow));
+        let factory = self.variant.factory_for(&net, self.bytes_per_flow);
+        let mut emu = Emulator::new(net, self.flows, factory);
         emu.set_sample_interval(self.sample_every);
         emu.run(self.duration)
     }

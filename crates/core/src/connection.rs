@@ -32,6 +32,38 @@ use tcp::rtx::{RtxQueue, TxSeg};
 use tcp::{CaState, ConnStats, Direction, FlowId, Segment, SeqNum, Transport};
 use wire::{Ecn, TdnId};
 
+/// Notification watchdog parameters.
+///
+/// The host knows the schedule is periodic (§3.2's pull model polls "the
+/// global variable" at this cadence); if no notification arrives within
+/// one period plus a guard band covering delivery-latency spread, the
+/// host must assume it missed a TDN change and can no longer trust its
+/// per-TDN state selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Expected notification period (the schedule's day+night slot).
+    pub period: SimDuration,
+    /// Guard band absorbing notification delivery-latency variation.
+    pub guard: SimDuration,
+    /// Congestion-window cap, in packets, while desynchronized.
+    pub degraded_cwnd_pkts: u32,
+}
+
+impl WatchdogConfig {
+    /// A watchdog for a schedule whose day+night slot is `slot`: period =
+    /// slot, guard = slot/2. The guard comfortably exceeds the per-host
+    /// notification latency spread (tens of µs even unoptimized) while a
+    /// single missed notification — a 2·slot gap — still overshoots the
+    /// deadline by slot/2 and is reliably detected.
+    pub fn for_slot(slot: SimDuration) -> WatchdogConfig {
+        WatchdogConfig {
+            period: slot,
+            guard: slot / 2,
+            degraded_cwnd_pkts: 4,
+        }
+    }
+}
+
 /// TDTCP configuration: the base TCP knobs plus the TDTCP-specific ones.
 #[derive(Debug, Clone)]
 pub struct TdtcpConfig {
@@ -49,6 +81,9 @@ pub struct TdtcpConfig {
     /// Duplicate state per TDN (§3.1). Disabling collapses every TDN onto
     /// set 0 — the ablation that makes TDTCP behave like single-path TCP.
     pub per_tdn_state: bool,
+    /// Missed-notification watchdog; `None` (the default) trusts every
+    /// notification to arrive, the pre-hardening behavior.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for TdtcpConfig {
@@ -65,6 +100,7 @@ impl Default for TdtcpConfig {
             relaxed_reordering: true,
             pessimistic_rto: true,
             per_tdn_state: true,
+            watchdog: None,
         }
     }
 }
@@ -133,6 +169,18 @@ pub struct TdtcpConnection {
     pending: VecDeque<Segment>,
     stats: ConnStats,
     established_at: Option<SimTime>,
+
+    // --- notification hardening ---
+    /// Highest notification generation applied; duplicates and reordered
+    /// deliveries carry a gen at or below this and are discarded.
+    last_gen: Option<u64>,
+    /// Arrival time of the last applied notification (watchdog baseline).
+    last_notify_at: Option<SimTime>,
+    /// Desynchronized: the watchdog inferred a missed TDN change. Per-TDN
+    /// state selection collapses to set 0 and the effective cwnd is
+    /// capped until a fresh notification resynchronizes the host.
+    degraded: bool,
+    degraded_since: Option<SimTime>,
 }
 
 impl TdtcpConnection {
@@ -236,6 +284,10 @@ impl TdtcpConnection {
             pending: VecDeque::new(),
             stats: ConnStats::new(),
             established_at: None,
+            last_gen: None,
+            last_notify_at: None,
+            degraded: false,
+            degraded_since: None,
         }
     }
 
@@ -264,9 +316,27 @@ impl TdtcpConnection {
         &self.tdns[self.state_index(tdn)]
     }
 
-    /// Congestion window of the currently active TDN.
+    /// Congestion window of the currently active TDN, after the degraded-
+    /// mode cap (the window actually gating transmission).
     pub fn cwnd(&self) -> u32 {
-        self.cur().cc.cwnd()
+        self.effective_cwnd()
+    }
+
+    /// Whether the connection is currently desynchronized (watchdog fired,
+    /// no fresh notification yet).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The active TDN's congestion window, capped while degraded: a
+    /// desynchronized host cannot know which TDN it is on, so it sends
+    /// conservatively on state set 0 until resynchronized.
+    fn effective_cwnd(&self) -> u32 {
+        let raw = self.cur().cc.cwnd();
+        match (self.degraded, self.cfg.watchdog) {
+            (true, Some(wd)) => raw.min(wd.degraded_cwnd_pkts.saturating_mul(self.cfg.tcp.mss)),
+            _ => raw,
+        }
     }
 
     /// Number of TDN state sets allocated.
@@ -282,7 +352,7 @@ impl TdtcpConnection {
     }
 
     fn state_index(&self, tdn: TdnId) -> usize {
-        if self.cfg.per_tdn_state && !self.downgraded {
+        if self.cfg.per_tdn_state && !self.downgraded && !self.degraded {
             tdn.index().min(self.tdns.len() - 1)
         } else {
             0
@@ -346,10 +416,38 @@ impl TdtcpConnection {
     // TDN change notification (§3.2)
     // ------------------------------------------------------------------
 
-    /// Process an out-of-band TDN-change notification from the ToR.
-    pub fn on_notification(&mut self, _now: SimTime, tdn: TdnId) {
+    /// Process an out-of-band TDN-change notification from the ToR,
+    /// assigning it the next fresh generation (for drivers that deliver
+    /// notifications reliably and in order).
+    pub fn on_notification(&mut self, now: SimTime, tdn: TdnId) {
+        let gen = self.last_gen.map_or(0, |g| g + 1);
+        self.on_notification_gen(now, tdn, gen);
+    }
+
+    /// Process a TDN-change notification carrying the ToR's monotone
+    /// generation `gen`. A gen at or below the last applied one marks a
+    /// duplicated or reordered delivery and is discarded (idempotence);
+    /// a fresh gen resynchronizes a degraded connection.
+    pub fn on_notification_gen(&mut self, now: SimTime, tdn: TdnId, gen: u64) {
         if self.downgraded || !self.cfg.per_tdn_state {
             return;
+        }
+        if let Some(last) = self.last_gen {
+            if gen <= last {
+                self.stats.stale_notifies += 1;
+                return;
+            }
+        }
+        self.last_gen = Some(gen);
+        self.last_notify_at = Some(now);
+        if self.degraded {
+            // Fresh authoritative word from the ToR: leave the
+            // conservative posture and resume per-TDN operation.
+            if let Some(since) = self.degraded_since.take() {
+                self.stats.degraded_ns += now.saturating_since(since).as_nanos();
+            }
+            self.degraded = false;
+            self.stats.notify_resyncs += 1;
         }
         // Runtime schedule change: first sight of a new TDN allocates a
         // fresh state set (§4.2).
@@ -370,6 +468,33 @@ impl TdtcpConnection {
             // will be) sent on the new TDN (§3.4).
             self.tdn_change_ptr = self.snd_nxt;
         }
+    }
+
+    /// The watchdog deadline: one period plus a guard band after the last
+    /// applied notification. Armed only while the connection is live,
+    /// speaking TDTCP, and not already degraded (a degraded host has
+    /// nothing further to infer — it waits for the ToR).
+    fn watchdog_deadline(&self) -> Option<SimTime> {
+        let wd = self.cfg.watchdog?;
+        if self.degraded || !self.is_tdtcp() {
+            return None;
+        }
+        if !matches!(self.state, State::Established | State::FinWait) {
+            return None;
+        }
+        // Before the first notification, baseline from establishment: a
+        // run whose very first notification is lost is still covered.
+        let base = self.last_notify_at.or(self.established_at)?;
+        Some(base + wd.period + wd.guard)
+    }
+
+    /// The watchdog inferred a missed TDN change: enter the conservative
+    /// fallback posture (single state set, capped cwnd) until the next
+    /// fresh notification.
+    fn fire_watchdog(&mut self, now: SimTime) {
+        self.stats.notify_watchdog_fires += 1;
+        self.degraded = true;
+        self.degraded_since = Some(now);
     }
 
     // ------------------------------------------------------------------
@@ -750,7 +875,7 @@ impl TdtcpConnection {
 
         let relaxed = self.cfg.relaxed_reordering && self.is_tdtcp();
         let state_index_of = |s: &TxSeg| {
-            if self.cfg.per_tdn_state && !self.downgraded {
+            if self.cfg.per_tdn_state && !self.downgraded && !self.degraded {
                 s.tdn.index().min(self.tdns.len() - 1)
             } else {
                 0
@@ -819,7 +944,7 @@ impl TdtcpConnection {
                 let flight = self
                     .rtx
                     .counts_where(|s| {
-                        if self.cfg.per_tdn_state && !self.downgraded {
+                        if self.cfg.per_tdn_state && !self.downgraded && !self.degraded {
                             s.tdn.index().min(self.tdns.len() - 1) == idx
                         } else {
                             true
@@ -870,6 +995,9 @@ impl TdtcpConnection {
             (None, x) | (x, None) => x,
             (Some(a), Some(b)) => Some(a.min(b)),
         };
+        if let Some(wd) = self.watchdog_deadline() {
+            t = Some(t.map_or(wd, |a| a.min(wd)));
+        }
         // Pacing wake-up: only relevant while there is something to send.
         if self.cfg.tcp.pacing
             && self.next_paced_at > SimTime::ZERO
@@ -885,6 +1013,11 @@ impl TdtcpConnection {
 
     /// Fire expired timers.
     pub fn handle_timer(&mut self, now: SimTime) {
+        if let Some(wd) = self.watchdog_deadline() {
+            if wd <= now {
+                self.fire_watchdog(now);
+            }
+        }
         if let Some(tlp) = self.tlp_deadline {
             if tlp <= now {
                 self.tlp_deadline = None;
@@ -999,7 +1132,7 @@ impl TdtcpConnection {
             .min_rtt()
             .or_else(|| st.rtt.srtt())
             .unwrap_or(SimDuration::from_micros(50));
-        let cwnd = st.cc.cwnd().max(self.cfg.tcp.mss);
+        let cwnd = self.effective_cwnd().max(self.cfg.tcp.mss);
         let gap = rtt.mul_f64(f64::from(seg.wire_size()) / f64::from(cwnd));
         self.next_paced_at = now + gap;
     }
@@ -1016,7 +1149,9 @@ impl TdtcpConnection {
         // Gate on the *current TDN's* window against the *current TDN's*
         // pipe — the swap that gives TDTCP a wide-open window with
         // near-zero inflight right after a switch (§5.2's initial burst).
-        let cwnd = self.cur().cc.cwnd();
+        // While degraded the window is capped: a desynchronized host must
+        // not blast a stale TDN's window onto an unknown path.
+        let cwnd = self.effective_cwnd();
         let pipe = self.pipe_bytes(self.current);
         let any_loss = self.tdns.iter().any(|t| t.ca == CaState::Loss);
 
@@ -1177,8 +1312,8 @@ impl Transport for TdtcpConnection {
         self.handle_timer(now);
     }
 
-    fn on_tdn_notification(&mut self, now: SimTime, tdn: TdnId) {
-        self.on_notification(now, tdn);
+    fn on_tdn_notification(&mut self, now: SimTime, tdn: TdnId, gen: u64) {
+        self.on_notification_gen(now, tdn, gen);
     }
 
     fn stats(&self) -> &ConnStats {

@@ -24,5 +24,5 @@
 pub mod connection;
 pub mod tdn_state;
 
-pub use connection::{State, TdtcpConfig, TdtcpConnection};
+pub use connection::{State, TdtcpConfig, TdtcpConnection, WatchdogConfig};
 pub use tdn_state::TdnState;

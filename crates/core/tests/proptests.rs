@@ -172,6 +172,73 @@ testkit::props! {
         }
     }
 
+    // Gen-tagged TDN updates are idempotent and commutative up to the
+    // newest generation: delivering the same notification set in any
+    // order, with any amount of duplication, leaves the connection on
+    // the same TDN, and every non-record delivery is discarded as
+    // stale. This is the endpoint half of the fault-tolerance story —
+    // the network may duplicate or reorder notifications freely.
+    #[cases(64)]
+    fn tdn_updates_idempotent(
+        input in testkit::prop::tuple2(
+            vec_of(range(0u8..4), 1..16),
+            vec_of(range(0usize..1_000), 0..48),
+        )
+    ) {
+        let (tdns, picks) = input;
+        // Delivery order: arbitrary picks (with repeats) into the base
+        // set, then every index once so nothing is permanently lost.
+        let mut order: Vec<usize> = picks.iter().map(|p| p % tdns.len()).collect();
+        order.extend(0..tdns.len());
+
+        let mut inorder = establish();
+        let mut shuffled = establish();
+        let mut now_us = 200u64;
+        for (i, &t) in tdns.iter().enumerate() {
+            now_us += 11;
+            inorder.on_notification_gen(SimTime::from_micros(now_us), TdnId(t), i as u64);
+        }
+        let mut expected_stale = 0u64;
+        let mut max_gen: Option<u64> = None;
+        for &i in &order {
+            now_us += 11;
+            shuffled.on_notification_gen(
+                SimTime::from_micros(now_us),
+                TdnId(tdns[i]),
+                i as u64,
+            );
+            if max_gen.is_some_and(|m| i as u64 <= m) {
+                expected_stale += 1;
+            } else {
+                max_gen = Some(i as u64);
+            }
+        }
+        // Both converge on the newest generation's TDN...
+        tk_assert_eq!(inorder.current_tdn(), TdnId(*tdns.last().unwrap()));
+        tk_assert_eq!(shuffled.current_tdn(), inorder.current_tdn());
+        // ...and every duplicate / out-of-order delivery was discarded.
+        tk_assert_eq!(shuffled.stats().stale_notifies, expected_stale);
+        tk_assert_eq!(inorder.stats().stale_notifies, 0);
+
+        // Redelivering the whole set changes nothing but the stale count.
+        let before = shuffled.current_tdn();
+        let switches = shuffled.stats().tdn_switches;
+        for &i in &order {
+            now_us += 11;
+            shuffled.on_notification_gen(
+                SimTime::from_micros(now_us),
+                TdnId(tdns[i]),
+                i as u64,
+            );
+        }
+        tk_assert_eq!(shuffled.current_tdn(), before);
+        tk_assert_eq!(shuffled.stats().tdn_switches, switches);
+        tk_assert_eq!(
+            shuffled.stats().stale_notifies,
+            expected_stale + order.len() as u64
+        );
+    }
+
     // New with the testkit port: connection evolution is a pure function
     // of the op sequence — replaying identical ops on a fresh connection
     // reproduces byte-identical stats digests at every step. This is the

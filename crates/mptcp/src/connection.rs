@@ -455,7 +455,7 @@ impl Transport for MptcpConnection {
         self.refresh_stats();
     }
 
-    fn on_tdn_notification(&mut self, now: SimTime, tdn: TdnId) {
+    fn on_tdn_notification(&mut self, now: SimTime, tdn: TdnId, _gen: u64) {
         if tdn != self.current {
             self.stats.tdn_switches += 1;
         }

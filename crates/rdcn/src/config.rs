@@ -1,5 +1,6 @@
 //! Network-level configuration for the emulated RDCN.
 
+use crate::faults::FaultPlan;
 use crate::notify::NotifyConfig;
 use crate::schedule::Schedule;
 use crate::voq::VoqConfig;
@@ -98,6 +99,10 @@ pub struct NetConfig {
     pub host_rate_bps: u64,
     /// RNG seed for the run.
     pub seed: u64,
+    /// Faults to inject during the run (none by default). The fault
+    /// stream is forked from `seed` under a fixed label, so attaching a
+    /// plan never perturbs the clean-path RNG draws.
+    pub faults: FaultPlan,
 }
 
 impl NetConfig {
@@ -115,6 +120,7 @@ impl NetConfig {
             retcpdyn: None,
             host_rate_bps: 100_000_000_000,
             seed: 1,
+            faults: FaultPlan::default(),
         }
     }
 

@@ -10,9 +10,10 @@
 //! enlargement, prepare signals).
 
 use crate::config::NetConfig;
+use crate::faults::{DayFate, EpsVerdict, FaultInjector, FaultStats, NotifyVerdict, FAULT_STREAM_LABEL};
 use crate::notify::NotifyModel;
 use crate::voq::Voq;
-use simcore::{DetRng, EventId, EventQueue, SimDuration, SimTime, TimeSeries};
+use simcore::{DetRng, EventId, EventQueue, FlightRecorder, SimDuration, SimTime, TimeSeries};
 use tcp::{ConnStats, Direction, Segment, Transport};
 use testkit::Digest;
 use wire::TdnId;
@@ -42,8 +43,9 @@ enum Ev {
     Service { dir: Dir },
     DayStart { day: u64 },
     NightStart { day: u64 },
+    LinkFail { day: u64 },
     Prepare,
-    Notify { side: Side, flow: usize, tdn: TdnId },
+    Notify { side: Side, flow: usize, tdn: TdnId, gen: u64 },
     HostTimer { side: Side, flow: usize },
     Sample,
 }
@@ -95,6 +97,15 @@ pub struct RunResult {
     pub duration: SimDuration,
     /// Events processed (a performance counter).
     pub events: u64,
+    /// Faults actually injected during the run (all zero for an empty
+    /// [`crate::FaultPlan`]).
+    pub faults: FaultStats,
+    /// Digest of the injected-fault sequence (order-sensitive); two runs
+    /// with the same seed and plan must agree on it.
+    pub fault_log_digest: u64,
+    /// The flight recorder's retained tail of coarse run events (day
+    /// starts, injected faults, completions), oldest first.
+    pub flight_log: Vec<(SimTime, String)>,
 }
 
 impl RunResult {
@@ -110,6 +121,51 @@ impl RunResult {
     /// Aggregate acknowledged bytes at the end of the run.
     pub fn total_acked(&self) -> u64 {
         self.sender_stats.iter().map(|s| s.bytes_acked).sum()
+    }
+
+    /// Notifications lost to injected faults.
+    pub fn notifications_lost(&self) -> u64 {
+        self.faults.notifications_dropped
+    }
+
+    /// Total time endpoints spent in degraded (desynchronized) mode,
+    /// summed over senders and receivers.
+    pub fn degraded_time(&self) -> SimDuration {
+        let ns: u64 = self
+            .sender_stats
+            .iter()
+            .chain(&self.receiver_stats)
+            .map(|s| s.degraded_ns)
+            .sum();
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Total notification-watchdog fires, summed over all endpoints.
+    pub fn watchdog_fires(&self) -> u64 {
+        self.sender_stats
+            .iter()
+            .chain(&self.receiver_stats)
+            .map(|s| s.notify_watchdog_fires)
+            .sum()
+    }
+
+    /// Compare this run's [`RunResult::stats_digest`] against an expected
+    /// value; on divergence, return a report carrying the flight
+    /// recorder's last events so the mismatch can be localized.
+    pub fn check_digest(&self, expected: u64) -> Result<(), String> {
+        let got = self.stats_digest();
+        if got == expected {
+            return Ok(());
+        }
+        let mut report = format!(
+            "stats_digest mismatch: expected {expected:#018x}, got {got:#018x}\n\
+             last {} flight-recorder events:\n",
+            self.flight_log.len()
+        );
+        for (t, e) in &self.flight_log {
+            report.push_str(&format!("  [{t}] {e}\n"));
+        }
+        Err(report)
     }
 
     /// Digest every observable output of the run into one 64-bit value.
@@ -168,6 +224,8 @@ impl RunResult {
         }
         d.write_u64(self.duration.as_nanos());
         d.write_u64(self.events);
+        self.faults.write_digest(&mut d);
+        d.write_u64(self.fault_log_digest);
         d.finish()
     }
 }
@@ -196,6 +254,10 @@ pub struct Emulator<'a> {
     q: EventQueue<Ev>,
     rng: DetRng,
     notify_model: NotifyModel,
+    /// Executes `cfg.faults` against its own forked RNG stream, so the
+    /// main stream's draw sequence is identical with or without a plan.
+    faults: FaultInjector,
+    recorder: FlightRecorder,
 
     senders: Vec<Option<Box<dyn Transport + 'a>>>,
     receivers: Vec<Option<Box<dyn Transport + 'a>>>,
@@ -233,6 +295,7 @@ impl<'a> Emulator<'a> {
     pub fn new(cfg: NetConfig, n_flows: usize, mut factory: EndpointFactory<'a>) -> Self {
         let rng = DetRng::new(cfg.seed);
         let notify_model = NotifyModel::new(cfg.notify);
+        let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
         let mut senders = Vec::with_capacity(n_flows);
         let mut receivers = Vec::with_capacity(n_flows);
         for i in 0..n_flows {
@@ -244,6 +307,8 @@ impl<'a> Emulator<'a> {
             voq_ab: Voq::new("voq_ab", cfg.voq),
             voq_ba: Voq::new("voq_ba", cfg.voq),
             notify_model,
+            faults,
+            recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
             senders,
@@ -277,10 +342,13 @@ impl<'a> Emulator<'a> {
         let n_flows = specs.len();
         let rng = DetRng::new(cfg.seed);
         let notify_model = NotifyModel::new(cfg.notify);
+        let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
         Emulator {
             voq_ab: Voq::new("voq_ab", cfg.voq),
             voq_ba: Voq::new("voq_ba", cfg.voq),
             notify_model,
+            faults,
+            recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
             senders: (0..n_flows).map(|_| None).collect(),
@@ -349,12 +417,25 @@ impl<'a> Emulator<'a> {
                     }
                 }
                 Ev::Enqueue { dir, seg } => {
-                    let voq = match dir {
-                        Dir::Ab => &mut self.voq_ab,
-                        Dir::Ba => &mut self.voq_ba,
-                    };
-                    if voq.enqueue(now, seg) {
-                        self.kick_service(now, dir);
+                    // EPS ingress burst faults: dropped and corrupted
+                    // segments never reach the VOQ (a corrupted segment
+                    // would fail its checksum downstream anyway).
+                    match self.faults.on_transit(now) {
+                        EpsVerdict::Pass => {
+                            let voq = match dir {
+                                Dir::Ab => &mut self.voq_ab,
+                                Dir::Ba => &mut self.voq_ba,
+                            };
+                            if voq.enqueue(now, seg) {
+                                self.kick_service(now, dir);
+                            }
+                        }
+                        EpsVerdict::Drop => {
+                            self.recorder.record(now, "eps burst: segment dropped");
+                        }
+                        EpsVerdict::Corrupt => {
+                            self.recorder.record(now, "eps burst: segment corrupted");
+                        }
                     }
                 }
                 Ev::Service { dir } => {
@@ -363,10 +444,20 @@ impl<'a> Emulator<'a> {
                 }
                 Ev::DayStart { day } => self.on_day_start(now, day, until),
                 Ev::NightStart { day } => self.on_night_start(now, day),
+                Ev::LinkFail { day } => {
+                    // The light path drops mid-day: service stops until
+                    // the next day start. Segments already in flight
+                    // complete their propagation.
+                    if self.prev_day == day && self.active.is_some() {
+                        self.active = None;
+                        self.recorder
+                            .record(now, format!("day {day}: circuit failed mid-day"));
+                    }
+                }
                 Ev::Prepare => self.on_prepare(now),
-                Ev::Notify { side, flow, tdn } => {
+                Ev::Notify { side, flow, tdn, gen } => {
                     if self.host_exists(side, flow) {
-                        self.host_mut(side, flow).on_tdn_notification(now, tdn);
+                        self.host_mut(side, flow).on_tdn_notification(now, tdn, gen);
                         self.flush(now, side, flow);
                     }
                 }
@@ -394,6 +485,7 @@ impl<'a> Emulator<'a> {
                 if let Some(s) = s {
                     if s.is_done() && self.completions[i].is_none() {
                         self.completions[i] = Some(now);
+                        self.recorder.record(now, format!("flow {i} completed"));
                     }
                 }
             }
@@ -430,6 +522,9 @@ impl<'a> Emulator<'a> {
             day_records: self.day_records,
             duration,
             events: self.q.events_processed(),
+            faults: *self.faults.stats(),
+            fault_log_digest: self.faults.log_digest(),
+            flight_log: self.recorder.into_events(),
         }
     }
 
@@ -548,17 +643,64 @@ impl<'a> Emulator<'a> {
         if day > 0 {
             self.record_day(day - 1);
         }
-        let tdn = self.cfg.schedule.day_tdn(day);
-        self.active = Some(tdn);
+        // Schedule freeze: a stuck rotor replays the frozen day's TDN.
+        let sched_day = self.faults.schedule_day(day);
+        let tdn = self.cfg.schedule.day_tdn(sched_day);
+        let fate = self.faults.day_fate(day, tdn, self.cfg.circuit_tdn);
         self.prev_day = day;
         self.prev_day_tdn = tdn;
 
-        // Notifications to every host.
-        if self.cfg.notifications {
+        match fate {
+            DayFate::Absent => {
+                // The circuit never comes up, and the failure is
+                // unannounced — the ToR sends no notifications, so hosts
+                // discover the outage only through their watchdogs.
+                self.active = None;
+                self.recorder
+                    .record(now, format!("day {day}: circuit absent (outage)"));
+            }
+            DayFate::Truncated(frac) => {
+                self.active = Some(tdn);
+                let at = now + self.cfg.schedule.day_len.mul_f64(frac);
+                self.q.schedule(at, Ev::LinkFail { day });
+                self.recorder.record(
+                    now,
+                    format!("day {day} tdn {} starts (fails mid-day)", tdn.0),
+                );
+            }
+            DayFate::Normal => {
+                self.active = Some(tdn);
+                self.recorder
+                    .record(now, format!("day {day} tdn {} starts", tdn.0));
+            }
+        }
+
+        // Notifications to every host (none for an absent day). The gen
+        // is the day number: monotone at the ToR, so endpoints can
+        // discard duplicated/reordered deliveries. Latency is sampled
+        // from the main stream even for dropped notifications, keeping
+        // the clean-path draw sequence identical across plans.
+        if self.cfg.notifications && fate != DayFate::Absent {
             for flow in 0..self.senders.len() {
                 for side in [Side::A, Side::B] {
                     let lat = self.notify_model.sample(&mut self.rng, flow).total();
-                    self.q.schedule(now + lat, Ev::Notify { side, flow, tdn });
+                    match self.faults.on_notify(day, flow, side.idx() as u8) {
+                        NotifyVerdict::Drop => {
+                            self.recorder.record(
+                                now,
+                                format!("day {day}: notify dropped (flow {flow})"),
+                            );
+                        }
+                        NotifyVerdict::Deliver { extra, duplicate } => {
+                            let at = now + lat + extra;
+                            self.q
+                                .schedule(at, Ev::Notify { side, flow, tdn, gen: day });
+                            if let Some(lag) = duplicate {
+                                self.q
+                                    .schedule(at + lag, Ev::Notify { side, flow, tdn, gen: day });
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -581,8 +723,9 @@ impl<'a> Emulator<'a> {
 
     fn on_night_start(&mut self, now: SimTime, day: u64) {
         self.active = None;
-        // A circuit day just ended: restore the VOQ cap (retcpdyn).
-        if self.cfg.retcpdyn.is_some() && self.cfg.schedule.day_tdn(day) == self.cfg.circuit_tdn {
+        // A circuit day just ended: restore the VOQ cap (retcpdyn). The
+        // *effective* TDN (frozen schedules replay a day) decides.
+        if self.cfg.retcpdyn.is_some() && self.prev_day_tdn == self.cfg.circuit_tdn {
             self.voq_ab.reset_cap();
             self.voq_ba.reset_cap();
         }
@@ -603,9 +746,12 @@ impl<'a> Emulator<'a> {
     }
 
     fn record_day(&mut self, day: u64) {
+        // `prev_day_tdn` still holds the finished day's *effective* TDN
+        // (on_day_start records day-1 before overwriting it), which can
+        // differ from the nominal schedule under a freeze fault.
         let mut rec = DayRecord {
             day,
-            tdn: self.cfg.schedule.day_tdn(day),
+            tdn: self.prev_day_tdn,
             reorder_events: 0,
             reorder_marked_pkts: 0,
             retransmits: 0,

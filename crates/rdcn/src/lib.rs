@@ -13,12 +13,17 @@
 pub mod analytic;
 pub mod config;
 pub mod emulator;
+pub mod faults;
 pub mod multirack;
 pub mod notify;
 pub mod schedule;
 pub mod voq;
 
 pub use config::{NetConfig, RetcpDynConfig, TdnParams};
+pub use faults::{
+    DayFate, EpsBurst, EpsVerdict, FaultInjector, FaultPlan, FaultStats, InjectedFault,
+    LinkFailure, NotifyVerdict, ScheduleFreeze, FAULT_STREAM_LABEL,
+};
 pub use emulator::{DayRecord, Emulator, EndpointFactory, FlowSpec, RunResult, TimedEndpointFactory};
 pub use multirack::{MultiRackConfig, MultiRackEmulator, MultiRackResult, PairFlow};
 pub use notify::{NotifyConfig, NotifyModel, NotifySample};

@@ -91,7 +91,7 @@ enum Ev {
     PacketService { src: usize },
     DayStart { day: u64 },
     NightStart { day: u64 },
-    Notify { flow: usize, to_sender: bool, tdn: TdnId },
+    Notify { flow: usize, to_sender: bool, tdn: TdnId, gen: u64 },
     HostTimer { flow: usize, to_sender: bool },
     Enqueue { src: usize, dst: usize, seg: Segment },
 }
@@ -227,8 +227,8 @@ impl<'a> MultiRackEmulator<'a> {
                 }
                 Ev::DayStart { day } => self.on_day_start(now, day),
                 Ev::NightStart { day } => self.on_night_start(now, day),
-                Ev::Notify { flow, to_sender, tdn } => {
-                    self.host(flow, to_sender).on_tdn_notification(now, tdn);
+                Ev::Notify { flow, to_sender, tdn, gen } => {
+                    self.host(flow, to_sender).on_tdn_notification(now, tdn, gen);
                     self.flush(now, flow, to_sender);
                 }
                 Ev::HostTimer { flow, to_sender } => {
@@ -411,7 +411,8 @@ impl<'a> MultiRackEmulator<'a> {
             };
             for to_sender in [true, false] {
                 let lat = self.notify_model.sample(&mut self.rng, i).total();
-                self.q.schedule(now + lat, Ev::Notify { flow: i, to_sender, tdn });
+                self.q
+                    .schedule(now + lat, Ev::Notify { flow: i, to_sender, tdn, gen: day });
             }
         }
         // Kick services: circuits for the new matching, EPS for the rest.

@@ -15,12 +15,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod recorder;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use recorder::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use rng::DetRng;
 pub use stats::{Cdf, Histogram, Welford};
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,128 @@
+//! A bounded flight-recorder ring for post-mortem debugging.
+//!
+//! Deterministic runs are compared by digest (`RunResult::stats_digest`
+//! in `rdcn`); when a digest diverges from its expected value the digest
+//! alone says nothing about *where* the run went off the rails. The
+//! flight recorder keeps the last K coarse-grained events of a run
+//! (day starts, injected faults, completions, ...) in a fixed-size ring
+//! so a divergence report can dump recent history without the run
+//! paying for a full event log.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// Default ring capacity: enough to cover several schedule weeks of
+/// day-level events plus a burst of fault records.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 256;
+
+/// A fixed-capacity ring of timestamped event descriptions. Recording is
+/// O(1); once full, the oldest event is evicted.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<(SimTime, String)>,
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `cap` events (`cap` is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            ring: VecDeque::with_capacity(cap),
+            recorded: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest when the ring is full.
+    pub fn record(&mut self, at: SimTime, event: impl Into<String>) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((at, event.into()));
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(SimTime, String)> {
+        self.ring.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Render the retained events as one line per event, oldest first.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (t, e) in &self.ring {
+            out.push_str(&format!("  [{t}] {e}\n"));
+        }
+        out
+    }
+
+    /// Consume the recorder, yielding the retained events oldest first.
+    pub fn into_events(self) -> Vec<(SimTime, String)> {
+        self.ring.into_iter().collect()
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            r.record(t(i), format!("ev{i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 10);
+        let kept: Vec<&str> = r.events().map(|(_, e)| e.as_str()).collect();
+        assert_eq!(kept, ["ev7", "ev8", "ev9"]);
+    }
+
+    #[test]
+    fn dump_is_oldest_first_one_line_per_event() {
+        let mut r = FlightRecorder::new(8);
+        r.record(t(1), "first");
+        r.record(t(2), "second");
+        let d = r.dump();
+        let first = d.find("first").unwrap();
+        let second = d.find("second").unwrap();
+        assert!(first < second);
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let mut r = FlightRecorder::new(0);
+        r.record(t(0), "a");
+        r.record(t(1), "b");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.into_events(), vec![(t(1), "b".to_string())]);
+    }
+}

@@ -53,6 +53,18 @@ pub struct ConnStats {
     pub relaxed_skips: u64,
     /// MPTCP: segments reinjected onto another subflow.
     pub reinjections: u64,
+    /// Times the notification watchdog inferred a missed TDN change and
+    /// entered degraded mode (TDTCP only).
+    pub notify_watchdog_fires: u64,
+    /// Times a fresh notification resynchronized a degraded connection
+    /// (TDTCP only).
+    pub notify_resyncs: u64,
+    /// Total nanoseconds spent in degraded (desynchronized) mode (TDTCP
+    /// only).
+    pub degraded_ns: u64,
+    /// Duplicated or out-of-order notifications discarded because their
+    /// generation was not newer than the last applied one (TDTCP only).
+    pub stale_notifies: u64,
 }
 
 impl ConnStats {
@@ -96,6 +108,10 @@ impl ConnStats {
             cross_tdn_rtt_discards,
             relaxed_skips,
             reinjections,
+            notify_watchdog_fires,
+            notify_resyncs,
+            degraded_ns,
+            stale_notifies,
         } = *self;
         for v in [
             bytes_sent,
@@ -119,6 +135,10 @@ impl ConnStats {
             cross_tdn_rtt_discards,
             relaxed_skips,
             reinjections,
+            notify_watchdog_fires,
+            notify_resyncs,
+            degraded_ns,
+            stale_notifies,
         ] {
             d.write_u64(v);
         }

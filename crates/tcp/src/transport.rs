@@ -26,9 +26,12 @@ pub trait Transport {
     /// A previously announced timer deadline passed.
     fn on_timer(&mut self, now: SimTime);
 
-    /// A ToR-generated TDN-change notification arrived (§3.2). Default:
-    /// ignored (single-path TCP has no use for it).
-    fn on_tdn_notification(&mut self, _now: SimTime, _tdn: TdnId) {}
+    /// A ToR-generated TDN-change notification arrived (§3.2). `gen` is
+    /// the ToR's monotone notification generation — endpoints use it to
+    /// detect duplicated and out-of-order deliveries (a duplicate
+    /// carries a gen they have already applied). Default: ignored
+    /// (single-path TCP has no use for it).
+    fn on_tdn_notification(&mut self, _now: SimTime, _tdn: TdnId, _gen: u64) {}
 
     /// retcpdyn: the ToR announced it will switch to the circuit soon and
     /// has pre-enlarged its buffers. Default: ignored.

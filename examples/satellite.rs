@@ -56,6 +56,7 @@ fn satellite_net() -> NetConfig {
         retcpdyn: None,
         host_rate_bps: 10_000_000_000,
         seed: 42,
+        faults: rdcn::FaultPlan::default(),
     }
 }
 

@@ -2,8 +2,18 @@
 # Local CI gate. Everything here runs fully offline: the workspace has
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
+#
+# Usage: scripts/ci.sh [soak]
+#   soak  — deepen the property-test search: every testkit `props!`
+#           block runs TK_CASES cases (default 10000) instead of its
+#           built-in count. Override with TK_CASES=N scripts/ci.sh soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "soak" ]]; then
+    export TK_CASES="${TK_CASES:-10000}"
+    echo "==> soak mode: TK_CASES=${TK_CASES}"
+fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace

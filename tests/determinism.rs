@@ -73,6 +73,57 @@ fn all_variants_are_deterministic() {
     }
 }
 
+fn run_faulted(variant: Variant, seed: u64, faults: rdcn::FaultPlan) -> u64 {
+    let mut net = NetConfig::paper_baseline();
+    net.faults = faults;
+    let wl = Workload {
+        flows: 4,
+        seed,
+        sample_every: SimDuration::from_micros(10),
+        ..Workload::bulk(variant, SimTime::from_millis(3))
+    };
+    wl.run(&net).stats_digest()
+}
+
+/// Fault injection is part of the determinism contract: the same
+/// (seed, plan) pair reproduces a bit-identical digest, and the faulted
+/// digest differs from the clean run's (the plan actually did
+/// something, and the digest covers the fault log).
+#[test]
+fn faulted_runs_are_deterministic() {
+    let plan = rdcn::FaultPlan::notification_loss(0.05);
+    let a = run_faulted(Variant::Tdtcp, 1, plan.clone());
+    let b = run_faulted(Variant::Tdtcp, 1, plan);
+    assert_eq!(a, b, "notification-loss run must replay bit-identically");
+    assert_ne!(
+        a,
+        run_once(Variant::Tdtcp, 1),
+        "a lossy plan must perturb the digest"
+    );
+}
+
+/// Same contract for a structural fault: a mid-day circuit failure with
+/// a multi-day outage replays bit-identically and diverges from clean.
+#[test]
+fn link_failure_runs_are_deterministic() {
+    let plan = rdcn::FaultPlan {
+        link_failure: Some(rdcn::LinkFailure {
+            day: 4,
+            at_fraction: 0.5,
+            outage_days: 12,
+        }),
+        ..rdcn::FaultPlan::default()
+    };
+    let a = run_faulted(Variant::Tdtcp, 7, plan.clone());
+    let b = run_faulted(Variant::Tdtcp, 7, plan);
+    assert_eq!(a, b, "link-failure run must replay bit-identically");
+    assert_ne!(
+        a,
+        run_once(Variant::Tdtcp, 7),
+        "a circuit outage must perturb the digest"
+    );
+}
+
 /// Per-connection half of the guarantee: a scripted TDTCP connection
 /// driven twice through the same notification/ACK/timer sequence lands
 /// on identical stats digests at every step (not just at the end).
