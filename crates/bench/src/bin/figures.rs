@@ -5,7 +5,7 @@
 //!
 //! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
 //!              fig14a fig14b table1 notify ablation regime notify-sweep
-//!              faults
+//!              faults impair
 //!              all   (everything above)
 //!              quick (table1 + fig10 + fig11 at a reduced horizon)
 //! ```
@@ -41,7 +41,7 @@ fn main() {
         wanted = [
             "table1", "fig2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig13", "fig14a", "fig14b", "notify", "ablation", "regime", "notify-sweep",
-            "shortflows", "fairness", "multirack", "faults",
+            "shortflows", "fairness", "multirack", "faults", "impair",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -100,6 +100,7 @@ fn main() {
             }
             "multirack" => multirack::run(SimTime::from_millis(15)).print(),
             "faults" => faultsweep::run(horizon).print(),
+            "impair" => impairsweep::run(horizon).print(),
             "fairness" => {
                 use bench::Variant;
                 let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]

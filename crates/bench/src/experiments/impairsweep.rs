@@ -1,0 +1,191 @@
+//! Data-path impairment sensitivity: goodput and flow-survival rate vs
+//! segment loss, delay-based reordering, and payload corruption for
+//! TDTCP, CUBIC, and reTCP.
+//!
+//! The paper's evaluation runs on a clean fabric; this sweep asks how
+//! each variant holds up when the fabric itself misbehaves. Two
+//! measurements per point:
+//!
+//! 1. **Goodput**: bulk flows past warmup, as everywhere else.
+//! 2. **Survival**: a fixed-size transfer per flow; a flow *survives*
+//!    when it completes in full without a `ConnError`. The transport's
+//!    no-silent-stall contract means every non-survivor is an explicit
+//!    abort, not a hang.
+
+use crate::experiments::default_warmup;
+use crate::variants::Variant;
+use crate::workload::{steady_goodput_gbps, Workload};
+use rdcn::{ImpairPlan, NetConfig};
+use simcore::{SimDuration, SimTime};
+
+/// Variants compared in the sweep.
+pub const VARIANTS: [Variant; 3] = [Variant::Tdtcp, Variant::Cubic, Variant::ReTcp];
+
+/// Segment loss rates swept.
+pub const LOSS_RATES: [f64; 4] = [0.0, 0.001, 0.01, 0.03];
+/// Reordering rates swept (extra delay uniform in (0, 150 µs]).
+pub const REORDER_RATES: [f64; 3] = [0.05, 0.15, 0.30];
+/// Payload corruption rates swept.
+pub const CORRUPT_RATES: [f64; 3] = [0.001, 0.005, 0.02];
+
+/// Fixed transfer size per flow in the survival runs.
+const SURVIVAL_BYTES: u64 = 400_000;
+
+/// One (variant, rate) point of a sweep dimension.
+#[derive(Debug)]
+pub struct ImpairRow {
+    /// Variant under test.
+    pub variant: Variant,
+    /// The swept rate (loss, reorder, or corruption probability).
+    pub rate: f64,
+    /// Steady-state goodput in Gbps (bulk flows).
+    pub goodput_gbps: f64,
+    /// Goodput relative to the same variant's clean run.
+    pub clean_ratio: f64,
+    /// Fraction of fixed-size flows that completed in full without a
+    /// `ConnError`.
+    pub survival: f64,
+    /// Fraction of fixed-size flows that terminated (completed or
+    /// explicitly errored) — anything below 1.0 is a silent stall.
+    pub terminated: f64,
+    /// Wire impairments applied during the bulk run.
+    pub impaired: u64,
+    /// Corrupted segments detected and discarded by endpoints (bulk
+    /// run).
+    pub corrupt_rx: u64,
+}
+
+/// The full impairment-sensitivity result.
+#[derive(Debug)]
+pub struct ImpairSweep {
+    /// Goodput/survival vs segment loss rate.
+    pub loss: Vec<ImpairRow>,
+    /// Goodput/survival vs reordering rate.
+    pub reorder: Vec<ImpairRow>,
+    /// Goodput/survival vs corruption rate.
+    pub corrupt: Vec<ImpairRow>,
+}
+
+impl ImpairSweep {
+    /// Print all three tables.
+    pub fn print(&self) {
+        for (title, rows) in [
+            ("segment loss", &self.loss),
+            ("reordering (delay ≤150us)", &self.reorder),
+            ("payload corruption", &self.corrupt),
+        ] {
+            println!("\n== impair: goodput & survival vs {title} ==");
+            println!("  variant    rate    goodput   vs-clean  survival  terminated  impaired  corrupt_rx");
+            for r in rows {
+                println!(
+                    "  {:>8}  {:>5.2}%  {:>7.3} Gbps  {:>6.1}%  {:>6.1}%  {:>7.1}%  {:>8}  {:>8}",
+                    r.variant.label(),
+                    r.rate * 100.0,
+                    r.goodput_gbps,
+                    r.clean_ratio * 100.0,
+                    r.survival * 100.0,
+                    r.terminated * 100.0,
+                    r.impaired,
+                    r.corrupt_rx,
+                );
+            }
+        }
+    }
+}
+
+fn measure(variant: Variant, rate: f64, plan: ImpairPlan, clean_gbps: f64, horizon: SimTime) -> ImpairRow {
+    let warmup = default_warmup();
+    let mut net = NetConfig::paper_baseline();
+    net.impair = plan;
+
+    // Bulk run: goodput and wire counters.
+    let bulk = Workload::bulk(variant, horizon).run(&net);
+    let g = steady_goodput_gbps(&bulk, warmup, horizon);
+    let corrupt_rx = bulk
+        .sender_stats
+        .iter()
+        .chain(&bulk.receiver_stats)
+        .map(|s| s.corrupt_rx)
+        .sum();
+
+    // Survival run: fixed-size flows.
+    let fin = Workload {
+        bytes_per_flow: SURVIVAL_BYTES,
+        ..Workload::bulk(variant, horizon)
+    }
+    .run(&net);
+    let flows = fin.completions.len();
+    let terminated = fin.completions.iter().filter(|c| c.is_some()).count();
+    let survived = (0..flows)
+        .filter(|&i| {
+            fin.completions[i].is_some()
+                && fin.conn_errors[i].is_none()
+                && fin.receiver_stats[i].bytes_delivered == SURVIVAL_BYTES
+        })
+        .count();
+
+    ImpairRow {
+        variant,
+        rate,
+        goodput_gbps: g,
+        clean_ratio: if clean_gbps > 0.0 { g / clean_gbps } else { 0.0 },
+        survival: survived as f64 / flows as f64,
+        terminated: terminated as f64 / flows as f64,
+        impaired: bulk.impairments.total(),
+        corrupt_rx,
+    }
+}
+
+/// Run the impairment sensitivity sweep.
+pub fn run(horizon: SimTime) -> ImpairSweep {
+    let warmup = default_warmup();
+
+    // Per-variant clean baselines (also the loss sweep's 0% points).
+    let mut clean = Vec::new();
+    for variant in VARIANTS {
+        let res = Workload::bulk(variant, horizon).run(&NetConfig::paper_baseline());
+        clean.push(steady_goodput_gbps(&res, warmup, horizon));
+    }
+
+    let mut loss = Vec::new();
+    for &rate in &LOSS_RATES {
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            loss.push(measure(
+                variant,
+                rate,
+                ImpairPlan::loss(rate),
+                clean[vi],
+                horizon,
+            ));
+        }
+    }
+
+    let mut reorder = Vec::new();
+    for &rate in &REORDER_RATES {
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            let plan = ImpairPlan {
+                reorder_rate: rate,
+                reorder_delay: SimDuration::from_micros(150),
+                ..ImpairPlan::default()
+            };
+            reorder.push(measure(variant, rate, plan, clean[vi], horizon));
+        }
+    }
+
+    let mut corrupt = Vec::new();
+    for &rate in &CORRUPT_RATES {
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            let plan = ImpairPlan {
+                corrupt_rate: rate,
+                ..ImpairPlan::default()
+            };
+            corrupt.push(measure(variant, rate, plan, clean[vi], horizon));
+        }
+    }
+
+    ImpairSweep {
+        loss,
+        reorder,
+        corrupt,
+    }
+}

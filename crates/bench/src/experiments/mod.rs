@@ -5,6 +5,7 @@
 pub mod ablation;
 pub mod faultsweep;
 pub mod fig10;
+pub mod impairsweep;
 pub mod fig11;
 pub mod multirack;
 pub mod notify;

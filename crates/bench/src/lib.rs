@@ -9,9 +9,11 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod variants;
 pub mod workload;
 
+pub use chaos::{check_invariants, ChaosSpec};
 pub use variants::{Variant, ALL_VARIANTS};
 pub use workload::Workload;

@@ -29,7 +29,7 @@ use tcp::cc::{AckEvent, CongestionControl};
 use tcp::recv::Reassembler;
 use tcp::rtt::RttEstimator;
 use tcp::rtx::{RtxQueue, TxSeg};
-use tcp::{CaState, ConnStats, Direction, FlowId, Segment, SeqNum, Transport};
+use tcp::{CaState, ConnError, ConnStats, Direction, FlowId, Segment, SeqNum, Transport};
 use wire::{Ecn, TdnId};
 
 /// Notification watchdog parameters.
@@ -155,6 +155,12 @@ pub struct TdtcpConnection {
     rto_deadline: Option<SimTime>,
     tlp_deadline: Option<SimTime>,
     rto_backoff: u32,
+    /// Zero-window persist timer: armed when the peer's window is closed,
+    /// nothing is outstanding (so no RTO is armed), and data waits.
+    persist_deadline: Option<SimTime>,
+    persist_backoff: u32,
+    /// Terminal error, if the connection aborted.
+    error: Option<ConnError>,
     /// Pacing release time for the next data segment (§5.2 mentions
     /// sender pacing as the mitigation for the initial burst at TDN
     /// switches; TDTCP enables it by default).
@@ -276,6 +282,9 @@ impl TdtcpConnection {
             rto_deadline: None,
             tlp_deadline: None,
             rto_backoff: 0,
+            persist_deadline: None,
+            persist_backoff: 0,
+            error: None,
             next_paced_at: SimTime::ZERO,
             rx: None,
             peer_fin: None,
@@ -326,6 +335,11 @@ impl TdtcpConnection {
     /// no fresh notification yet).
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// The terminal error this connection aborted with, if any.
+    pub fn conn_error(&self) -> Option<ConnError> {
+        self.error
     }
 
     /// The active TDN's congestion window, capped while degraded: a
@@ -533,6 +547,12 @@ impl TdtcpConnection {
     /// Feed an arriving segment.
     pub fn handle_segment(&mut self, now: SimTime, seg: &Segment) {
         self.stats.segs_received += 1;
+        // End-to-end payload checksum: discard damaged segments whole,
+        // counted apart from network drops (see `tcp::Connection`).
+        if seg.payload_is_corrupt() {
+            self.stats.corrupt_rx += 1;
+            return;
+        }
         if seg.flags.rst {
             self.state = State::Done;
             self.pending.clear();
@@ -570,7 +590,16 @@ impl TdtcpConnection {
                 }
                 self.maybe_finish();
             }
-            State::Done => {}
+            State::Done => {
+                // TIME-WAIT duty: a retransmitted FIN means the peer
+                // never got our final ACK (lost or corrupted on the
+                // wire). Re-ACK it, or the peer retries its FIN until
+                // its retransmission limit — a silent stall from the
+                // application's point of view.
+                if seg.flags.fin && self.rx.is_some() {
+                    self.queue_ack(now, false);
+                }
+            }
         }
     }
 
@@ -696,6 +725,11 @@ impl TdtcpConnection {
     fn process_ack(&mut self, now: SimTime, seg: &Segment) {
         // "All TDNs": validate against the sum of per-TDN packets_out.
         if self.total_packets_out() == 0 && seg.ack == self.snd_una && seg.sack.is_empty() {
+            // Still a window update: a zero-window receiver reopening its
+            // window sends exactly this "stale" ACK shape, and it must
+            // cancel (or re-pace) the persist timer.
+            self.peer_wnd = seg.wnd;
+            self.maybe_arm_persist(now);
             return;
         }
         if seg.ack.after(self.snd_nxt) {
@@ -826,6 +860,7 @@ impl TdtcpConnection {
             self.arm_rto(now);
             self.arm_tlp(now);
         }
+        self.maybe_arm_persist(now);
     }
 
     /// §3.4 relaxed reordering detection.
@@ -966,10 +1001,109 @@ impl TdtcpConnection {
 
     fn arm_rto(&mut self, now: SimTime) {
         // The timer covers the oldest outstanding segment, with the §4.4
-        // pessimistic timeout for its TDN.
+        // pessimistic timeout for its TDN. The shift cap bounds the
+        // arithmetic; `max_retries` (checked in `fire_rto`) bounds the
+        // *retrying* — a blackholed flow aborts with `ConnError` before
+        // the cap ever plateaus the backoff.
         let tdn = self.rtx.front().map(|s| s.tdn).unwrap_or(self.current);
         let backoff = 1u64 << self.rto_backoff.min(12);
         self.rto_deadline = Some(now + self.rto_for(tdn).saturating_mul(backoff));
+    }
+
+    /// Whether the connection is stuck behind a closed peer window: data
+    /// waits, nothing is outstanding (so no RTO is armed), and the peer
+    /// advertises zero. Without a persist probe this is a silent deadlock.
+    fn needs_persist(&self) -> bool {
+        self.state == State::Established
+            && self.peer_wnd == 0
+            && self.rtx.is_empty()
+            && self.bytes_unsent > 0
+    }
+
+    /// Arm, re-arm or disarm the persist timer to match current state.
+    fn maybe_arm_persist(&mut self, now: SimTime) {
+        if self.needs_persist() {
+            if self.persist_deadline.is_none() {
+                let backoff = 1u64 << self.persist_backoff.min(12);
+                let delay = self
+                    .rto_for(self.current)
+                    .saturating_mul(backoff)
+                    .min(self.cfg.tcp.rtt.max_rto);
+                self.persist_deadline = Some(now + delay);
+            }
+        } else {
+            self.persist_deadline = None;
+            if self.peer_wnd > 0 {
+                self.persist_backoff = 0;
+            }
+        }
+    }
+
+    /// The persist timer fired: transmit a one-byte window probe from the
+    /// unsent stream (RFC 9293 §3.8.6.1). The byte is real data — it goes
+    /// on the rtx queue and is cumulatively acknowledged like any other —
+    /// so a reopening window resumes exactly in sequence. Probes travel
+    /// the active TDN.
+    fn fire_persist(&mut self, now: SimTime) {
+        if !self.needs_persist() {
+            return;
+        }
+        if self.persist_backoff >= self.cfg.tcp.max_retries {
+            self.abort(ConnError::PersistTimeout {
+                probes: self.persist_backoff,
+            });
+            return;
+        }
+        self.stats.persist_probes += 1;
+        self.persist_backoff += 1;
+        let mut seg = Segment::new(self.flow, self.data_dir);
+        seg.seq = self.snd_nxt;
+        seg.len = 1;
+        seg.flags.psh = true;
+        seg.flags.ack = self.rx.is_some();
+        seg.ack = self
+            .rx
+            .as_ref()
+            .map(|r| r.rcv_nxt())
+            .unwrap_or(SeqNum::ZERO);
+        if self.is_tdtcp() {
+            seg.data_tdn = Some(self.current);
+            seg.ack_tdn = self.rx.as_ref().map(|_| self.current);
+        }
+        self.finalize_data_segment(&mut seg);
+        self.rtx.push(TxSeg {
+            seq: self.snd_nxt,
+            len: 1,
+            is_syn: false,
+            is_fin: false,
+            tdn: self.current,
+            tx_time: now,
+            first_tx: now,
+            sacked: false,
+            lost: false,
+            retx_in_flight: false,
+            retx_count: 0,
+        });
+        self.snd_nxt += 1;
+        self.bytes_unsent -= 1;
+        self.stats.bytes_sent += 1;
+        self.stats.segs_sent += 1;
+        self.pending.push_back(seg);
+        self.arm_rto(now);
+        // Re-arm with backoff in case the probe's ACK still says zero.
+        self.persist_deadline = None;
+    }
+
+    /// Abort with a terminal error: surface it, stop all timers, and
+    /// report done so the driver terminates the flow.
+    fn abort(&mut self, err: ConnError) {
+        self.error = Some(err);
+        self.state = State::Done;
+        self.stats.conn_aborts += 1;
+        self.pending.clear();
+        self.rto_deadline = None;
+        self.tlp_deadline = None;
+        self.persist_deadline = None;
     }
 
     fn arm_tlp(&mut self, now: SimTime) {
@@ -991,10 +1125,14 @@ impl TdtcpConnection {
 
     /// Earliest pending timer.
     pub fn next_timer_at(&self) -> Option<SimTime> {
-        let mut t = match (self.rto_deadline, self.tlp_deadline) {
-            (None, x) | (x, None) => x,
-            (Some(a), Some(b)) => Some(a.min(b)),
-        };
+        let mut t = None;
+        for cand in [self.rto_deadline, self.tlp_deadline, self.persist_deadline] {
+            t = match (t, cand) {
+                (None, c) => c,
+                (Some(a), Some(b)) if b < a => Some(b),
+                (a, _) => a,
+            };
+        }
         if let Some(wd) = self.watchdog_deadline() {
             t = Some(t.map_or(wd, |a| a.min(wd)));
         }
@@ -1027,6 +1165,12 @@ impl TdtcpConnection {
         if let Some(rto) = self.rto_deadline {
             if rto <= now {
                 self.fire_rto(now);
+            }
+        }
+        if let Some(p) = self.persist_deadline {
+            if p <= now {
+                self.persist_deadline = None;
+                self.fire_persist(now);
             }
         }
     }
@@ -1065,6 +1209,19 @@ impl TdtcpConnection {
         if self.rtx.is_empty() {
             self.rto_deadline = None;
             return;
+        }
+        if self.rto_backoff >= self.cfg.tcp.max_retries {
+            self.abort(ConnError::RetransmitLimit {
+                retries: self.rto_backoff,
+            });
+            return;
+        }
+        // SACK reneging (the `tcp_check_sack_reneging` analogue): an RTO
+        // with the *head* of the queue SACKed means the receiver reneged;
+        // forget every SACK mark so `mark_all_lost` re-marks the ranges.
+        if self.rtx.front().is_some_and(|s| s.sacked) {
+            let n = self.rtx.clear_sack_marks();
+            self.stats.sack_reneges += u64::from(n);
         }
         self.stats.rtos += 1;
         // Only the TDN owning the timed-out (oldest) segment collapses;
@@ -1108,6 +1265,7 @@ impl TdtcpConnection {
             .as_ref()
             .map(|r| r.window())
             .unwrap_or(self.cfg.tcp.recv_buf);
+        seg.stamp_payload();
     }
 
     fn fin_is_queued(&self) -> bool {
@@ -1270,8 +1428,11 @@ impl TdtcpConnection {
         }
         // Nothing sendable for a non-pacing reason (cwnd/rwnd-blocked or
         // no data): disarm the pacing wake-up so the timer does not spin;
-        // an arriving ACK re-opens the window and restarts pacing.
+        // an arriving ACK re-opens the window and restarts pacing. A
+        // zero-window block instead arms the persist timer — the driver
+        // flushes poll_transmit after every event, so a stall is noticed.
         self.next_paced_at = SimTime::ZERO;
+        self.maybe_arm_persist(now);
         None
     }
 
@@ -1326,6 +1487,10 @@ impl Transport for TdtcpConnection {
 
     fn is_done(&self) -> bool {
         self.state == State::Done
+    }
+
+    fn conn_error(&self) -> Option<ConnError> {
+        self.error
     }
 
     fn variant(&self) -> &'static str {

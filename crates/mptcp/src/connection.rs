@@ -351,6 +351,10 @@ impl MptcpConnection {
                 s.bytes_sent += sub.bytes_sent;
                 s.spurious_retransmits += sub.spurious_retransmits;
                 s.dup_segs_received += sub.dup_segs_received;
+                s.persist_probes += sub.persist_probes;
+                s.sack_reneges += sub.sack_reneges;
+                s.corrupt_rx += sub.corrupt_rx;
+                s.conn_aborts += sub.conn_aborts;
             }
         }
         // Connection-level semantics for the sequence-progress metrics.
@@ -365,6 +369,16 @@ impl MptcpConnection {
 impl Transport for MptcpConnection {
     fn on_segment(&mut self, now: SimTime, seg: &Segment) {
         let idx = self.subflow_index(seg.pin);
+        // A damaged segment must not reach the MPTCP data level either:
+        // hand it to the subflow engine (which discards and counts it)
+        // and skip the DSS/data-ACK bookkeeping entirely.
+        if seg.payload_is_corrupt() {
+            if let Some(conn) = self.subflows[idx].conn.as_mut() {
+                conn.on_segment(now, seg);
+            }
+            self.refresh_stats();
+            return;
+        }
         // Data-level bookkeeping happens at the MPTCP layer.
         if seg.has_payload() {
             if let Some(dss) = seg.dss {
@@ -479,6 +493,26 @@ impl Transport for MptcpConnection {
 
     fn is_done(&self) -> bool {
         self.done
+    }
+
+    fn conn_error(&self) -> Option<tcp::ConnError> {
+        // The connection as a whole fails only when the transfer never
+        // completed and every subflow gave up; a single aborted subflow
+        // with a surviving sibling can still finish via reinjection.
+        if self.done {
+            return None;
+        }
+        let errors: Vec<_> = self
+            .subflows
+            .iter()
+            .filter_map(|sf| sf.conn.as_ref())
+            .map(tcp::Connection::conn_error)
+            .collect();
+        if !errors.is_empty() && errors.iter().all(Option::is_some) {
+            errors[0]
+        } else {
+            None
+        }
     }
 
     fn variant(&self) -> &'static str {

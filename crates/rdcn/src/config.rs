@@ -1,6 +1,7 @@
 //! Network-level configuration for the emulated RDCN.
 
 use crate::faults::FaultPlan;
+use crate::impair::ImpairPlan;
 use crate::notify::NotifyConfig;
 use crate::schedule::Schedule;
 use crate::voq::VoqConfig;
@@ -103,6 +104,10 @@ pub struct NetConfig {
     /// stream is forked from `seed` under a fixed label, so attaching a
     /// plan never perturbs the clean-path RNG draws.
     pub faults: FaultPlan,
+    /// Data-path impairments to apply during the run (none by default).
+    /// Like `faults`, the impairment stream is forked from `seed` under
+    /// its own fixed label and never perturbs the clean path.
+    pub impair: ImpairPlan,
 }
 
 impl NetConfig {
@@ -121,6 +126,7 @@ impl NetConfig {
             host_rate_bps: 100_000_000_000,
             seed: 1,
             faults: FaultPlan::default(),
+            impair: ImpairPlan::default(),
         }
     }
 

@@ -11,12 +11,22 @@
 
 use crate::config::NetConfig;
 use crate::faults::{DayFate, EpsVerdict, FaultInjector, FaultStats, NotifyVerdict, FAULT_STREAM_LABEL};
+use crate::impair::{ImpairInjector, ImpairStats, ImpairVerdict, IMPAIR_STREAM_LABEL};
 use crate::notify::NotifyModel;
 use crate::voq::Voq;
 use simcore::{DetRng, EventId, EventQueue, FlightRecorder, SimDuration, SimTime, TimeSeries};
-use tcp::{ConnStats, Direction, Segment, Transport};
+use tcp::{ConnError, ConnStats, Direction, Segment, Transport};
 use testkit::Digest;
 use wire::TdnId;
+
+/// XOR mask applied to a segment's modeled payload checksum by corrupting
+/// impairments. The fixed mask keeps corruption deterministic; the guard
+/// against a zero result preserves the "0 = unstamped" sentinel so a
+/// mangled stamp can never masquerade as an unstamped segment.
+fn mangle_csum(c: u32) -> u32 {
+    let m = c ^ 0x5A5A_5A5A;
+    if m == 0 { 1 } else { m }
+}
 
 /// Which rack a host lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +113,16 @@ pub struct RunResult {
     /// Digest of the injected-fault sequence (order-sensitive); two runs
     /// with the same seed and plan must agree on it.
     pub fault_log_digest: u64,
+    /// Data-path impairments applied during the run (all zero for an
+    /// empty [`crate::ImpairPlan`]).
+    pub impairments: ImpairStats,
+    /// Digest of the applied-impairment sequence (order-sensitive); two
+    /// runs with the same seed and plan must agree on it.
+    pub impair_log_digest: u64,
+    /// Terminal error of each flow's sender, if it aborted instead of
+    /// completing. `completions[i]` records when the sender *terminated*;
+    /// this distinguishes success from surrender.
+    pub conn_errors: Vec<Option<ConnError>>,
     /// The flight recorder's retained tail of coarse run events (day
     /// starts, injected faults, completions), oldest first.
     pub flight_log: Vec<(SimTime, String)>,
@@ -226,6 +246,21 @@ impl RunResult {
         d.write_u64(self.events);
         self.faults.write_digest(&mut d);
         d.write_u64(self.fault_log_digest);
+        self.impairments.write_digest(&mut d);
+        d.write_u64(self.impair_log_digest);
+        for e in &self.conn_errors {
+            match e {
+                None => {
+                    d.write_bool(false);
+                }
+                Some(ConnError::RetransmitLimit { retries }) => {
+                    d.write_bool(true).write_u64(1).write_u64(u64::from(*retries));
+                }
+                Some(ConnError::PersistTimeout { probes }) => {
+                    d.write_bool(true).write_u64(2).write_u64(u64::from(*probes));
+                }
+            }
+        }
         d.finish()
     }
 }
@@ -257,6 +292,10 @@ pub struct Emulator<'a> {
     /// Executes `cfg.faults` against its own forked RNG stream, so the
     /// main stream's draw sequence is identical with or without a plan.
     faults: FaultInjector,
+    /// Executes `cfg.impair` against its own forked RNG stream (same
+    /// isolation guarantee as `faults`): an inert plan makes zero draws,
+    /// so the clean path is bit-identical with or without the field.
+    impair: ImpairInjector,
     recorder: FlightRecorder,
 
     senders: Vec<Option<Box<dyn Transport + 'a>>>,
@@ -296,6 +335,7 @@ impl<'a> Emulator<'a> {
         let rng = DetRng::new(cfg.seed);
         let notify_model = NotifyModel::new(cfg.notify);
         let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
+        let impair = ImpairInjector::new(cfg.impair.clone(), rng.fork(IMPAIR_STREAM_LABEL));
         let mut senders = Vec::with_capacity(n_flows);
         let mut receivers = Vec::with_capacity(n_flows);
         for i in 0..n_flows {
@@ -308,6 +348,7 @@ impl<'a> Emulator<'a> {
             voq_ba: Voq::new("voq_ba", cfg.voq),
             notify_model,
             faults,
+            impair,
             recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
@@ -343,11 +384,13 @@ impl<'a> Emulator<'a> {
         let rng = DetRng::new(cfg.seed);
         let notify_model = NotifyModel::new(cfg.notify);
         let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
+        let impair = ImpairInjector::new(cfg.impair.clone(), rng.fork(IMPAIR_STREAM_LABEL));
         Emulator {
             voq_ab: Voq::new("voq_ab", cfg.voq),
             voq_ba: Voq::new("voq_ba", cfg.voq),
             notify_model,
             faults,
+            impair,
             recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
@@ -417,9 +460,13 @@ impl<'a> Emulator<'a> {
                     }
                 }
                 Ev::Enqueue { dir, seg } => {
-                    // EPS ingress burst faults: dropped and corrupted
-                    // segments never reach the VOQ (a corrupted segment
-                    // would fail its checksum downstream anyway).
+                    // EPS ingress burst faults: drops vanish here, but
+                    // corrupted *data* segments keep flowing — damage is
+                    // detected end-to-end by the receiver's payload
+                    // checksum (counted as `corrupt_rx`), not by the
+                    // network silently eating the segment. A corrupted
+                    // pure ACK has no trustworthy bits and degrades to a
+                    // drop.
                     match self.faults.on_transit(now) {
                         EpsVerdict::Pass => {
                             let voq = match dir {
@@ -434,7 +481,21 @@ impl<'a> Emulator<'a> {
                             self.recorder.record(now, "eps burst: segment dropped");
                         }
                         EpsVerdict::Corrupt => {
-                            self.recorder.record(now, "eps burst: segment corrupted");
+                            if seg.has_payload() {
+                                let mut seg = seg;
+                                seg.payload_csum = mangle_csum(seg.payload_csum);
+                                self.recorder.record(now, "eps burst: segment corrupted");
+                                let voq = match dir {
+                                    Dir::Ab => &mut self.voq_ab,
+                                    Dir::Ba => &mut self.voq_ba,
+                                };
+                                if voq.enqueue(now, seg) {
+                                    self.kick_service(now, dir);
+                                }
+                            } else {
+                                self.recorder
+                                    .record(now, "eps burst: corrupted ack dropped");
+                            }
                         }
                     }
                 }
@@ -485,7 +546,12 @@ impl<'a> Emulator<'a> {
                 if let Some(s) = s {
                     if s.is_done() && self.completions[i].is_none() {
                         self.completions[i] = Some(now);
-                        self.recorder.record(now, format!("flow {i} completed"));
+                        match s.conn_error() {
+                            Some(e) => self
+                                .recorder
+                                .record(now, format!("flow {i} aborted: {e:?}")),
+                            None => self.recorder.record(now, format!("flow {i} completed")),
+                        }
                     }
                 }
             }
@@ -519,11 +585,18 @@ impl<'a> Emulator<'a> {
                 .iter()
                 .map(|r| r.as_ref().map(|r| *r.stats()).unwrap_or_default())
                 .collect(),
+            conn_errors: self
+                .senders
+                .iter()
+                .map(|s| s.as_ref().and_then(|s| s.conn_error()))
+                .collect(),
             day_records: self.day_records,
             duration,
             events: self.q.events_processed(),
             faults: *self.faults.stats(),
             fault_log_digest: self.faults.log_digest(),
+            impairments: *self.impair.stats(),
+            impair_log_digest: self.impair.log_digest(),
             flight_log: self.recorder.into_events(),
         }
     }
@@ -623,14 +696,38 @@ impl<'a> Emulator<'a> {
             Dir::Ba => Side::A,
         };
         let flow = seg.flow.0 as usize;
-        self.q.schedule(
-            arrive_at,
-            Ev::Arrive {
-                side: to_side,
-                flow,
-                seg,
-            },
-        );
+        // Wire-path impairments (`cfg.impair`): applied at the moment of
+        // transmission, so they hit whichever plane — EPS day or circuit
+        // day, including segments straddling a transition — carries the
+        // segment. The link is occupied either way (the segment was
+        // transmitted; the wire damaged or lost it downstream).
+        match self.impair.on_wire(now) {
+            ImpairVerdict::Pass => {
+                self.q.schedule(arrive_at, Ev::Arrive { side: to_side, flow, seg });
+            }
+            ImpairVerdict::Drop => {}
+            ImpairVerdict::Delay(extra) => {
+                self.q
+                    .schedule(arrive_at + extra, Ev::Arrive { side: to_side, flow, seg });
+            }
+            ImpairVerdict::Duplicate(lag) => {
+                self.q.schedule(
+                    arrive_at,
+                    Ev::Arrive { side: to_side, flow, seg },
+                );
+                self.q
+                    .schedule(arrive_at + lag, Ev::Arrive { side: to_side, flow, seg });
+            }
+            ImpairVerdict::Corrupt => {
+                if seg.has_payload() {
+                    let mut seg = seg;
+                    seg.payload_csum = mangle_csum(seg.payload_csum);
+                    self.q.schedule(arrive_at, Ev::Arrive { side: to_side, flow, seg });
+                }
+                // A corrupted pure ACK degrades to a drop: no bit of it
+                // can be trusted, so nothing arrives.
+            }
+        }
         self.link_free_at[dir.idx()] = now + ser;
         if voq.has_eligible(Some(active)) {
             self.q.schedule(now + ser, Ev::Service { dir });

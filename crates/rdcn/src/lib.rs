@@ -14,6 +14,7 @@ pub mod analytic;
 pub mod config;
 pub mod emulator;
 pub mod faults;
+pub mod impair;
 pub mod multirack;
 pub mod notify;
 pub mod schedule;
@@ -25,6 +26,9 @@ pub use faults::{
     LinkFailure, NotifyVerdict, ScheduleFreeze, FAULT_STREAM_LABEL,
 };
 pub use emulator::{DayRecord, Emulator, EndpointFactory, FlowSpec, RunResult, TimedEndpointFactory};
+pub use impair::{
+    ImpairEvent, ImpairInjector, ImpairPlan, ImpairStats, ImpairVerdict, IMPAIR_STREAM_LABEL,
+};
 pub use multirack::{MultiRackConfig, MultiRackEmulator, MultiRackResult, PairFlow};
 pub use notify::{NotifyConfig, NotifyModel, NotifySample};
 pub use schedule::{Phase, Schedule};

@@ -19,7 +19,7 @@ use crate::rtx::{RtxQueue, TxSeg};
 use crate::segment::{Direction, FlowId, Segment};
 use crate::seq::SeqNum;
 use crate::stats::ConnStats;
-use crate::transport::Transport;
+use crate::transport::{ConnError, Transport};
 use simcore::{SimDuration, SimTime};
 use std::collections::VecDeque;
 use wire::{Ecn, TdnId};
@@ -48,6 +48,12 @@ pub struct Config {
     pub pacing: bool,
     /// Initial sequence number (fixed for determinism).
     pub isn: u32,
+    /// Give up after this many consecutive RTO fires (or persist probes)
+    /// without progress, aborting the connection with a [`ConnError`]
+    /// instead of retrying forever (the `tcp_retries2` analogue). With
+    /// exponential backoff capped at shift 12, 15 retries against the
+    /// 10 ms RTO floor is tens of seconds of simulated silence.
+    pub max_retries: u32,
 }
 
 impl Default for Config {
@@ -63,6 +69,7 @@ impl Default for Config {
             rack: true,
             pacing: false,
             isn: 0,
+            max_retries: 15,
         }
     }
 }
@@ -111,6 +118,12 @@ pub struct Connection {
     tlp_deadline: Option<SimTime>,
     rto_backoff: u32,
     next_paced_at: SimTime,
+    /// Zero-window persist timer: armed when the peer's window is closed,
+    /// nothing is outstanding (so no RTO is armed), and data waits.
+    persist_deadline: Option<SimTime>,
+    persist_backoff: u32,
+    /// Terminal error, if the connection aborted.
+    error: Option<ConnError>,
 
     // --- receive half ---
     rx: Option<Reassembler>,
@@ -172,6 +185,9 @@ impl Connection {
             tlp_deadline: None,
             rto_backoff: 0,
             next_paced_at: SimTime::ZERO,
+            persist_deadline: None,
+            persist_backoff: 0,
+            error: None,
             rx: None,
             peer_fin: None,
             dctcp_rx: DctcpReceiver::new(),
@@ -221,6 +237,11 @@ impl Connection {
     /// When the handshake completed, if it has.
     pub fn established_at(&self) -> Option<SimTime> {
         self.established_at
+    }
+
+    /// The terminal error this connection aborted with, if any.
+    pub fn conn_error(&self) -> Option<ConnError> {
+        self.error
     }
 
     /// Append `n` application bytes to the send stream. Used by MPTCP's
@@ -280,6 +301,14 @@ impl Connection {
     /// Feed an arriving segment.
     pub fn handle_segment(&mut self, now: SimTime, seg: &Segment) {
         self.stats.segs_received += 1;
+        // End-to-end payload checksum: a damaged segment is discarded
+        // whole (headers included — a real NIC cannot trust any of it),
+        // exactly as if the network had dropped it, but counted apart
+        // from drops so corruption is observable.
+        if seg.payload_is_corrupt() {
+            self.stats.corrupt_rx += 1;
+            return;
+        }
         if seg.flags.rst {
             self.state = State::Done;
             self.pending.clear();
@@ -318,7 +347,16 @@ impl Connection {
                 }
                 self.maybe_finish();
             }
-            State::Done => {}
+            State::Done => {
+                // TIME-WAIT duty: a retransmitted FIN means the peer
+                // never got our final ACK (it was lost or corrupted on
+                // the wire). Re-ACK it, or the peer retries its FIN
+                // until its retransmission limit — a silent stall from
+                // the application's point of view.
+                if seg.flags.fin && self.rx.is_some() {
+                    self.queue_ack(now, false);
+                }
+            }
         }
     }
 
@@ -425,6 +463,11 @@ impl Connection {
         let before_counts = self.rtx.counts();
         // §4.3 "all TDNs": an ACK with nothing outstanding is stale.
         if before_counts.packets_out == 0 && seg.ack == self.snd_una && seg.sack.is_empty() {
+            // Still a window update: a zero-window receiver reopening
+            // its window sends exactly this "stale" ACK shape, and it
+            // must cancel (or re-pace) the persist timer.
+            self.peer_wnd = seg.wnd;
+            self.maybe_arm_persist(now);
             return;
         }
         if seg.ack.after(self.snd_nxt) {
@@ -515,6 +558,7 @@ impl Connection {
             self.arm_rto(now);
             self.arm_tlp(now);
         }
+        self.maybe_arm_persist(now);
     }
 
     /// Loss detection: classic dupACK threshold + RACK-style time filter.
@@ -588,8 +632,104 @@ impl Connection {
     // ------------------------------------------------------------------
 
     fn arm_rto(&mut self, now: SimTime) {
+        // The shift cap bounds the arithmetic; `max_retries` (checked in
+        // `fire_rto`) bounds the *retrying* — a blackholed flow aborts
+        // with `ConnError` before the cap ever plateaus the backoff.
         let backoff = 1u64 << self.rto_backoff.min(12);
         self.rto_deadline = Some(now + self.rtt.rto().saturating_mul(backoff));
+    }
+
+    /// Whether the connection is stuck behind a closed peer window: data
+    /// waits, nothing is outstanding (so no RTO is armed), and the peer
+    /// advertises zero. Without a persist probe this is a silent
+    /// deadlock — the classic lost-window-update stall.
+    fn needs_persist(&self) -> bool {
+        self.state == State::Established
+            && self.peer_wnd == 0
+            && self.rtx.is_empty()
+            && self.bytes_unsent > 0
+    }
+
+    /// Arm, re-arm or disarm the persist timer to match current state.
+    fn maybe_arm_persist(&mut self, now: SimTime) {
+        if self.needs_persist() {
+            if self.persist_deadline.is_none() {
+                let backoff = 1u64 << self.persist_backoff.min(12);
+                let delay = self
+                    .rtt
+                    .rto()
+                    .saturating_mul(backoff)
+                    .min(self.cfg.rtt.max_rto);
+                self.persist_deadline = Some(now + delay);
+            }
+        } else {
+            self.persist_deadline = None;
+            if self.peer_wnd > 0 {
+                self.persist_backoff = 0;
+            }
+        }
+    }
+
+    /// The persist timer fired: transmit a one-byte window probe from the
+    /// unsent stream (RFC 9293 §3.8.6.1). The byte is real data — it goes
+    /// on the rtx queue and is cumulatively acknowledged like any other —
+    /// so a reopening window resumes exactly in sequence.
+    fn fire_persist(&mut self, now: SimTime) {
+        if !self.needs_persist() {
+            return;
+        }
+        if self.persist_backoff >= self.cfg.max_retries {
+            self.abort(ConnError::PersistTimeout {
+                probes: self.persist_backoff,
+            });
+            return;
+        }
+        self.stats.persist_probes += 1;
+        self.persist_backoff += 1;
+        let mut seg = Segment::new(self.flow, self.data_dir);
+        seg.seq = self.snd_nxt;
+        seg.len = 1;
+        seg.flags.psh = true;
+        seg.flags.ack = self.rx.is_some();
+        seg.ack = self
+            .rx
+            .as_ref()
+            .map(|r| r.rcv_nxt())
+            .unwrap_or(SeqNum::ZERO);
+        self.finalize_data_segment(&mut seg);
+        self.rtx.push(TxSeg {
+            seq: self.snd_nxt,
+            len: 1,
+            is_syn: false,
+            is_fin: false,
+            tdn: self.current_tdn(),
+            tx_time: now,
+            first_tx: now,
+            sacked: false,
+            lost: false,
+            retx_in_flight: false,
+            retx_count: 0,
+        });
+        self.snd_nxt += 1;
+        self.bytes_unsent -= 1;
+        self.stats.bytes_sent += 1;
+        self.stats.segs_sent += 1;
+        self.pending.push_back(seg);
+        self.arm_rto(now);
+        // Re-arm with backoff in case the probe's ACK still says zero.
+        self.persist_deadline = None;
+    }
+
+    /// Abort with a terminal error: surface it, stop all timers, and
+    /// report done so the driver terminates the flow.
+    fn abort(&mut self, err: ConnError) {
+        self.error = Some(err);
+        self.state = State::Done;
+        self.stats.conn_aborts += 1;
+        self.pending.clear();
+        self.rto_deadline = None;
+        self.tlp_deadline = None;
+        self.persist_deadline = None;
     }
 
     fn arm_tlp(&mut self, now: SimTime) {
@@ -610,7 +750,7 @@ impl Connection {
     /// The earliest pending timer, if any.
     pub fn next_timer(&self) -> Option<SimTime> {
         let mut t = None;
-        for cand in [self.rto_deadline, self.tlp_deadline] {
+        for cand in [self.rto_deadline, self.tlp_deadline, self.persist_deadline] {
             t = match (t, cand) {
                 (None, c) => c,
                 (Some(a), Some(b)) if b < a => Some(b),
@@ -638,6 +778,12 @@ impl Connection {
         if let Some(rto) = self.rto_deadline {
             if rto <= now {
                 self.fire_rto(now);
+            }
+        }
+        if let Some(p) = self.persist_deadline {
+            if p <= now {
+                self.persist_deadline = None;
+                self.fire_persist(now);
             }
         }
     }
@@ -671,6 +817,23 @@ impl Connection {
         if self.rtx.is_empty() {
             self.rto_deadline = None;
             return;
+        }
+        if self.rto_backoff >= self.cfg.max_retries {
+            self.abort(ConnError::RetransmitLimit {
+                retries: self.rto_backoff,
+            });
+            return;
+        }
+        // SACK reneging (the `tcp_check_sack_reneging` analogue): an RTO
+        // with the *head* of the queue SACKed means the receiver
+        // acknowledged that range selectively but never cumulatively —
+        // it reneged (or the network lied). Forget every SACK mark so
+        // `mark_all_lost` re-marks the reneged ranges; without this the
+        // sacked head is never eligible for retransmission and the
+        // connection RTO-spins to a wrongful abort.
+        if self.rtx.front().is_some_and(|s| s.sacked) {
+            let n = self.rtx.clear_sack_marks();
+            self.stats.sack_reneges += u64::from(n);
         }
         self.stats.rtos += 1;
         self.ca = CaState::Loss;
@@ -721,6 +884,7 @@ impl Connection {
         } else {
             seg.wnd = self.cfg.recv_buf;
         }
+        seg.stamp_payload();
     }
 
     /// Produce the next segment to transmit, or `None` when flow- or
@@ -838,6 +1002,10 @@ impl Connection {
                 return Some(fin);
             }
         }
+        // Nothing sendable: if that is because the peer's window is
+        // closed with nothing outstanding, arm the persist timer (this
+        // runs after every event, so the stall is always noticed).
+        self.maybe_arm_persist(now);
         None
     }
 
@@ -907,6 +1075,10 @@ impl Transport for Connection {
 
     fn is_done(&self) -> bool {
         self.state == State::Done
+    }
+
+    fn conn_error(&self) -> Option<ConnError> {
+        self.error
     }
 
     fn variant(&self) -> &'static str {

@@ -36,4 +36,4 @@ pub use connection::{Config, Connection, State};
 pub use segment::{Direction, DssMap, FlowId, SackBlocks, Segment};
 pub use seq::SeqNum;
 pub use stats::ConnStats;
-pub use transport::Transport;
+pub use transport::{ConnError, Transport};

@@ -244,6 +244,24 @@ impl RtxQueue {
         n
     }
 
+    /// SACK-reneging recovery (the `tcp_check_sack_reneging` analogue):
+    /// forget every SACK mark so the segments become eligible for
+    /// retransmission again. Data is *never* freed on SACK alone — only
+    /// [`RtxQueue::cum_ack`] removes segments — so reneged ranges are
+    /// still here to re-mark and resend. Returns the number of segments
+    /// whose marks were cleared.
+    pub fn clear_sack_marks(&mut self) -> u32 {
+        let mut n = 0;
+        for seg in self.segs.iter_mut() {
+            if seg.sacked {
+                seg.sacked = false;
+                seg.retx_in_flight = false;
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Mark every unsacked segment lost (RTO recovery).
     pub fn mark_all_lost(&mut self) -> u32 {
         let mut n = 0;
@@ -466,6 +484,35 @@ mod tests {
         let n = q.mark_all_lost();
         assert_eq!(n, 3);
         assert_eq!(q.counts().lost_out, 3);
+    }
+
+    #[test]
+    fn sack_never_frees_data_and_reneging_remarks() {
+        let mut q = queue_of(4);
+        q.mark_sacked([(SeqNum(100), SeqNum(300))].into_iter());
+        // SACK alone never removes segments from the queue (RFC 2018:
+        // the receiver may renege, so the sender must keep the data).
+        assert_eq!(q.len(), 4, "SACK must not free rtx-queue data");
+        assert_eq!(q.counts().sacked_out, 2);
+
+        // The receiver reneges: clear the marks, then RTO-style loss
+        // marking makes the formerly-sacked range retransmittable.
+        let cleared = q.clear_sack_marks();
+        assert_eq!(cleared, 2);
+        assert_eq!(q.counts().sacked_out, 0);
+        q.mark_all_lost();
+        let seqs: Vec<_> = std::iter::from_fn(|| {
+            q.next_retransmit().map(|s| {
+                s.retx_in_flight = true;
+                s.seq
+            })
+        })
+        .collect();
+        assert_eq!(
+            seqs,
+            vec![SeqNum(0), SeqNum(100), SeqNum(200), SeqNum(300)],
+            "reneged ranges are retransmitted with everything else"
+        );
     }
 
     #[test]

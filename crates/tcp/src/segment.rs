@@ -126,6 +126,13 @@ pub struct Segment {
     /// Routing pin: the segment may only be serviced while this TDN is
     /// active (MPTCP subflows are pinned; everything else floats).
     pub pin: Option<TdnId>,
+    /// End-to-end payload checksum. Payload bytes are synthesized, so the
+    /// checksum is modelled as a pure function of `(flow, seq, len)`
+    /// (see [`Segment::expected_payload_csum`]): senders stamp it on
+    /// every payload-carrying segment, impairment injectors mangle it,
+    /// and receivers discard segments whose stamp does not verify.
+    /// `0` means "unstamped" (control segments; legacy paths).
+    pub payload_csum: u32,
 }
 
 /// Fixed per-segment header overhead assumed for serialization timing:
@@ -153,7 +160,39 @@ impl Segment {
             ecn: Ecn::NotEct,
             circuit_mark: false,
             pin: None,
+            payload_csum: 0,
         }
+    }
+
+    /// The checksum a pristine copy of this segment's payload would carry.
+    /// Payload bytes are synthesized deterministically from the stream
+    /// position, so the checksum is a pure function of `(flow, seq, len)`
+    /// — always nonzero, so a stamped segment is distinguishable from an
+    /// unstamped one.
+    pub fn expected_payload_csum(&self) -> u32 {
+        let mut d = testkit::Digest::new();
+        d.write_u32(self.flow.0).write_u32(self.seq.0).write_u32(self.len);
+        let h = d.finish();
+        let folded = (h ^ (h >> 32)) as u32;
+        if folded == 0 {
+            1
+        } else {
+            folded
+        }
+    }
+
+    /// Stamp the payload checksum (no-op on segments without payload).
+    pub fn stamp_payload(&mut self) {
+        if self.has_payload() {
+            self.payload_csum = self.expected_payload_csum();
+        }
+    }
+
+    /// Whether the payload arrived damaged: the segment carries a stamp
+    /// and it does not verify. Unstamped segments are accepted (control
+    /// segments never carry a stamp).
+    pub fn payload_is_corrupt(&self) -> bool {
+        self.has_payload() && self.payload_csum != 0 && self.payload_csum != self.expected_payload_csum()
     }
 
     /// Total on-wire size used for serialization-delay computation.
@@ -376,6 +415,43 @@ mod tests {
         let bytes = s.to_wire(1, 2, 3, 4);
         let back = Segment::from_wire(&bytes, FlowId(3), Direction::DataPath).unwrap();
         assert_eq!(back.dss, s.dss);
+    }
+
+    #[test]
+    fn payload_csum_stamp_and_verify() {
+        let mut s = Segment::new(FlowId(3), Direction::DataPath);
+        s.seq = SeqNum(8948);
+        s.len = 8948;
+        assert!(!s.payload_is_corrupt(), "unstamped segments are accepted");
+        s.stamp_payload();
+        assert_ne!(s.payload_csum, 0, "stamp is always nonzero");
+        assert!(!s.payload_is_corrupt());
+        s.payload_csum ^= 0x00C0_FFEE;
+        assert!(s.payload_is_corrupt(), "a mangled stamp is detected");
+
+        // Pure ACKs never carry a stamp.
+        let mut a = Segment::new(FlowId(3), Direction::AckPath);
+        a.flags.ack = true;
+        a.stamp_payload();
+        assert_eq!(a.payload_csum, 0);
+        assert!(!a.payload_is_corrupt());
+    }
+
+    #[test]
+    fn payload_csum_depends_on_flow_seq_len() {
+        let mut s = Segment::new(FlowId(1), Direction::DataPath);
+        s.seq = SeqNum(100);
+        s.len = 50;
+        let base = s.expected_payload_csum();
+        let mut other = s;
+        other.flow = FlowId(2);
+        assert_ne!(base, other.expected_payload_csum());
+        other = s;
+        other.seq = SeqNum(101);
+        assert_ne!(base, other.expected_payload_csum());
+        other = s;
+        other.len = 51;
+        assert_ne!(base, other.expected_payload_csum());
     }
 
     #[test]

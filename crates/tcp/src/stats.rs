@@ -65,6 +65,17 @@ pub struct ConnStats {
     /// Duplicated or out-of-order notifications discarded because their
     /// generation was not newer than the last applied one (TDTCP only).
     pub stale_notifies: u64,
+    /// Zero-window persist probes transmitted.
+    pub persist_probes: u64,
+    /// Segments whose SACK marks were cleared after the receiver reneged
+    /// (head of the rtx queue SACKed-but-never-cumulatively-acked at RTO).
+    pub sack_reneges: u64,
+    /// Received data segments discarded because their payload checksum
+    /// failed to verify (counted separately from network drops).
+    pub corrupt_rx: u64,
+    /// Times the connection aborted with a terminal `ConnError` instead
+    /// of retrying forever.
+    pub conn_aborts: u64,
 }
 
 impl ConnStats {
@@ -112,6 +123,10 @@ impl ConnStats {
             notify_resyncs,
             degraded_ns,
             stale_notifies,
+            persist_probes,
+            sack_reneges,
+            corrupt_rx,
+            conn_aborts,
         } = *self;
         for v in [
             bytes_sent,
@@ -139,6 +154,10 @@ impl ConnStats {
             notify_resyncs,
             degraded_ns,
             stale_notifies,
+            persist_probes,
+            sack_reneges,
+            corrupt_rx,
+            conn_aborts,
         ] {
             d.write_u64(v);
         }

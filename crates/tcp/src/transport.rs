@@ -9,6 +9,27 @@ use crate::stats::ConnStats;
 use simcore::SimTime;
 use wire::TdnId;
 
+/// A terminal per-flow error: the connection gave up instead of retrying
+/// forever. Mirrors PR 2's degraded posture for the control plane — the
+/// failure is *surfaced*, not silently spun on, so the driver (and the
+/// chaos harness's invariant oracle) can distinguish "completed",
+/// "errored", and "stalled".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnError {
+    /// Consecutive retransmission timeouts exceeded the configured
+    /// maximum (`Config::max_retries`, the `tcp_retries2` analogue).
+    RetransmitLimit {
+        /// RTO backoff count when the connection aborted.
+        retries: u32,
+    },
+    /// The peer advertised a zero window and never reopened it through
+    /// the configured maximum of persist probes.
+    PersistTimeout {
+        /// Persist probes sent when the connection aborted.
+        probes: u32,
+    },
+}
+
 /// A transport endpoint: consumes segments, timer expirations and
 /// network-control signals; produces segments.
 pub trait Transport {
@@ -45,6 +66,13 @@ pub trait Transport {
 
     /// Whether the transfer has fully completed.
     fn is_done(&self) -> bool;
+
+    /// The terminal error this connection aborted with, if any. A
+    /// connection with an error also reports `is_done()` so drivers
+    /// terminate. Default: never errors (receivers; legacy variants).
+    fn conn_error(&self) -> Option<ConnError> {
+        None
+    }
 
     /// Variant label for reporting (e.g. `"cubic"`, `"tdtcp"`).
     fn variant(&self) -> &'static str;

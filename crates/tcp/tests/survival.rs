@@ -1,0 +1,245 @@
+//! Survival-hardening tests for the TCP engine: zero-window persist
+//! probing with backoff, the max-retransmissions abort, and SACK
+//! reneging tolerance. These are the behaviours the chaos soak's
+//! no-silent-stall invariant leans on.
+
+use simcore::SimTime;
+use tcp::cc::{CcConfig, Cubic};
+use tcp::{
+    Config, ConnError, Connection, Direction, FlowId, SackBlocks, Segment, SeqNum, Transport,
+};
+
+const MSS: u32 = 1000;
+
+fn t(us: u64) -> SimTime {
+    SimTime::from_micros(us)
+}
+
+fn cfg(bytes: u64) -> Config {
+    Config {
+        mss: MSS,
+        bytes_to_send: bytes,
+        pacing: false,
+        tlp: false, // force the RTO path; TLP timing is covered elsewhere
+        ..Config::default()
+    }
+}
+
+fn cc() -> Box<dyn tcp::CongestionControl> {
+    Box::new(Cubic::new(CcConfig {
+        mss: MSS,
+        init_cwnd_pkts: 10,
+        max_cwnd: 1 << 24,
+    }))
+}
+
+/// Establish by hand; returns the sender with the handshake drained.
+fn establish(config: Config) -> Connection {
+    let mut a = Connection::connect(FlowId(1), config, cc(), t(0));
+    let _syn = a.poll_send(t(0)).unwrap();
+    let mut synack = Segment::new(FlowId(1), Direction::AckPath);
+    synack.flags.syn = true;
+    synack.flags.ack = true;
+    synack.seq = SeqNum(0);
+    synack.ack = SeqNum(1);
+    synack.wnd = 1 << 20;
+    a.on_segment(t(100), &synack);
+    assert!(a.is_established());
+    let hs = a.poll_send(t(100)).expect("handshake ACK");
+    assert!(!hs.has_payload());
+    a
+}
+
+fn ack(cum: SeqNum, wnd: u32) -> Segment {
+    let mut s = Segment::new(FlowId(1), Direction::AckPath);
+    s.flags.ack = true;
+    s.ack = cum;
+    s.wnd = wnd;
+    s
+}
+
+/// Park the sender behind a zero window with data still unsent: four
+/// segments out, all acked, window closed.
+fn park_behind_zero_window(a: &mut Connection, now_us: u64) {
+    for _ in 0..4 {
+        Transport::poll_send(a, t(110)).expect("window open");
+    }
+    a.on_segment(t(now_us), &ack(SeqNum(1 + 4 * MSS), 0));
+    assert!(
+        Transport::poll_send(a, t(now_us)).is_none(),
+        "no new data at wnd=0"
+    );
+}
+
+#[test]
+fn persist_probe_fires_backs_off_and_resumes() {
+    let mut a = establish(cfg(u64::from(10 * MSS)));
+    park_behind_zero_window(&mut a, 300);
+
+    // The persist timer is armed (nothing outstanding, so it is the only
+    // timer) and fires a one-byte probe from the unsent stream.
+    let fire1 = Transport::next_timer(&a).expect("persist armed");
+    let gap1 = fire1.saturating_since(t(300));
+    a.on_timer(fire1);
+    let probe = Transport::poll_send(&mut a, fire1).expect("probe sent");
+    assert_eq!(probe.seq, SeqNum(1 + 4 * MSS));
+    assert_eq!(probe.len, 1, "window probe is one byte of real data");
+    assert_eq!(a.stats().persist_probes, 1);
+
+    // The peer acks the probe byte but keeps the window shut: the timer
+    // re-arms with exponential backoff.
+    let t2 = fire1 + gap1 / 4;
+    a.on_segment(t2, &ack(SeqNum(1 + 4 * MSS + 1), 0));
+    let fire2 = Transport::next_timer(&a).expect("persist re-armed");
+    let gap2 = fire2.saturating_since(t2);
+    assert!(gap2 > gap1, "backoff must grow: {gap1} then {gap2}");
+    a.on_timer(fire2);
+    let probe2 = Transport::poll_send(&mut a, fire2).expect("second probe");
+    assert_eq!(probe2.seq, SeqNum(1 + 4 * MSS + 1));
+    assert_eq!(a.stats().persist_probes, 2);
+
+    // The window reopens: full-size sending resumes in sequence.
+    let t3 = fire2 + gap1;
+    a.on_segment(t3, &ack(SeqNum(1 + 4 * MSS + 2), 1 << 20));
+    let seg = Transport::poll_send(&mut a, t3).expect("window reopened");
+    assert_eq!(seg.seq, SeqNum(1 + 4 * MSS + 2));
+    assert_eq!(seg.len, MSS);
+    assert!(a.conn_error().is_none());
+}
+
+#[test]
+fn persist_timeout_aborts_with_conn_error() {
+    let mut a = establish(Config {
+        max_retries: 3,
+        ..cfg(u64::from(10 * MSS))
+    });
+    park_behind_zero_window(&mut a, 300);
+
+    // The peer acks every probe but never reopens its window; after
+    // `max_retries` probes the connection surrenders explicitly.
+    let mut acked = SeqNum(1 + 4 * MSS);
+    for _ in 0..20 {
+        if a.is_done() {
+            break;
+        }
+        let fire = Transport::next_timer(&a).expect("a timer while alive");
+        a.on_timer(fire);
+        while let Some(seg) = Transport::poll_send(&mut a, fire) {
+            if seg.has_payload() {
+                acked = seg.seq + seg.len;
+            }
+        }
+        if !a.is_done() {
+            a.on_segment(fire + gap_us(1), &ack(acked, 0));
+        }
+    }
+    assert!(a.is_done(), "zero-window flow must terminate");
+    assert_eq!(a.conn_error(), Some(ConnError::PersistTimeout { probes: 3 }));
+    assert_eq!(a.stats().persist_probes, 3);
+    assert_eq!(a.stats().conn_aborts, 1);
+}
+
+fn gap_us(us: u64) -> simcore::SimDuration {
+    simcore::SimDuration::from_micros(us)
+}
+
+/// Satellite regression: a blackholed flow (no ACKs, ever) terminates
+/// with `ConnError::RetransmitLimit` instead of retrying forever behind
+/// the shift-capped RTO backoff.
+#[test]
+fn blackholed_flow_aborts_with_retransmit_limit() {
+    let mut a = establish(Config {
+        max_retries: 3,
+        ..cfg(u64::from(10 * MSS))
+    });
+    for _ in 0..4 {
+        Transport::poll_send(&mut a, t(110)).expect("window open");
+    }
+    // Nothing ever comes back. Drive timers until the engine gives up.
+    let mut fired = 0;
+    while !a.is_done() {
+        let fire = Transport::next_timer(&a).expect("RTO armed while alive");
+        a.on_timer(fire);
+        while Transport::poll_send(&mut a, fire).is_some() {}
+        fired += 1;
+        assert!(fired <= 10, "flow did not terminate within the retry budget");
+    }
+    assert_eq!(
+        a.conn_error(),
+        Some(ConnError::RetransmitLimit { retries: 3 })
+    );
+    assert!(a.stats().rtos >= 3);
+    assert_eq!(a.stats().conn_aborts, 1);
+    assert!(
+        Transport::poll_send(&mut a, t(1_000_000)).is_none(),
+        "an aborted flow transmits nothing"
+    );
+}
+
+/// SACK reneging tolerance: ranges the receiver SACKed and then
+/// discarded are re-marked lost at the next RTO (never freed on SACK
+/// alone), retransmitted, and the flow completes cleanly.
+#[test]
+fn sack_reneged_ranges_are_retransmitted_and_flow_completes() {
+    let mut a = establish(cfg(u64::from(6 * MSS)));
+    let mut sent = 0;
+    while let Some(seg) = Transport::poll_send(&mut a, t(110)) {
+        if seg.has_payload() {
+            sent += 1;
+        }
+    }
+    assert_eq!(sent, 6, "all data plus FIN go out");
+
+    // Cumulative stuck at 1 (hole = segment 1), segments 2..=6 SACKed.
+    let mut sack = ack(SeqNum(1), 1 << 20);
+    let mut sb = SackBlocks::EMPTY;
+    sb.push(SeqNum(1 + MSS), SeqNum(1 + 6 * MSS));
+    sack.sack = sb;
+    a.on_segment(t(400), &sack);
+
+    // RTO retransmits the hole.
+    let fire = Transport::next_timer(&a).expect("RTO armed");
+    a.on_timer(fire);
+    let head = Transport::poll_send(&mut a, fire).expect("hole retransmitted");
+    assert_eq!(head.seq, SeqNum(1));
+
+    // The receiver reneged: its cumulative ACK only covers the hole —
+    // the previously SACKed 2..=6 are gone from its buffer.
+    a.on_segment(fire + gap_us(50), &ack(SeqNum(1 + MSS), 1 << 20));
+
+    // Next RTO finds the queue head still marked SACKed: reneging is
+    // detected, marks are cleared, and the ranges retransmit.
+    let fire2 = Transport::next_timer(&a).expect("RTO re-armed");
+    a.on_timer(fire2);
+    let mut retx = Vec::new();
+    while let Some(seg) = Transport::poll_send(&mut a, fire2) {
+        if seg.has_payload() {
+            retx.push(seg.seq);
+        }
+    }
+    assert!(
+        a.stats().sack_reneges > 0,
+        "reneging must be detected and counted"
+    );
+    assert!(
+        retx.contains(&SeqNum(1 + MSS)),
+        "reneged range must retransmit, got {retx:?}"
+    );
+
+    // With the data really delivered this time, the flow completes.
+    a.on_segment(fire2 + gap_us(50), &ack(SeqNum(1 + 6 * MSS + 1), 1 << 20));
+    let mut guard = 0;
+    while !a.is_done() {
+        let Some(fire) = Transport::next_timer(&a) else {
+            break;
+        };
+        a.on_timer(fire);
+        while Transport::poll_send(&mut a, fire).is_some() {}
+        a.on_segment(fire + gap_us(10), &ack(SeqNum(1 + 6 * MSS + 1), 1 << 20));
+        guard += 1;
+        assert!(guard <= 10, "flow must complete after reneging recovery");
+    }
+    assert!(a.is_done());
+    assert!(a.conn_error().is_none(), "reneging is survivable, not fatal");
+    assert_eq!(a.stats().bytes_acked, u64::from(6 * MSS));
+}

@@ -57,6 +57,7 @@ fn satellite_net() -> NetConfig {
         host_rate_bps: 10_000_000_000,
         seed: 42,
         faults: rdcn::FaultPlan::default(),
+        impair: rdcn::ImpairPlan::default(),
     }
 }
 

@@ -3,23 +3,43 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak]
+# Usage: scripts/ci.sh [soak|chaos]
 #   soak  — deepen the property-test search: every testkit `props!`
 #           block runs TK_CASES cases (default 10000) instead of its
-#           built-in count. Override with TK_CASES=N scripts/ci.sh soak.
+#           built-in count, and the chaos soak runs 5000 scenarios.
+#           Override with TK_CASES=N scripts/ci.sh soak.
+#   chaos — run only the randomized chaos soak (build + tests/chaos.rs)
+#           at TK_CASES scenarios (default 200). On a violation the
+#           harness shrinks to a minimal failing plan and prints a
+#           replayable case seed (persisted to tests/tk-regressions/).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "soak" ]]; then
+MODE="${1:-}"
+CHAOS_CASES=200
+
+if [[ "$MODE" == "soak" ]]; then
     export TK_CASES="${TK_CASES:-10000}"
-    echo "==> soak mode: TK_CASES=${TK_CASES}"
+    CHAOS_CASES="${TK_CASES_CHAOS:-5000}"
+    echo "==> soak mode: TK_CASES=${TK_CASES}, chaos at ${CHAOS_CASES}"
 fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
+if [[ "$MODE" == "chaos" ]]; then
+    CHAOS_CASES="${TK_CASES:-200}"
+    echo "==> chaos soak: ${CHAOS_CASES} randomized scenarios"
+    TK_CASES="$CHAOS_CASES" cargo test -q --offline --test chaos
+    echo "CHAOS OK"
+    exit 0
+fi
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
+
+echo "==> chaos soak: ${CHAOS_CASES} randomized scenarios"
+TK_CASES="$CHAOS_CASES" cargo test -q --offline --test chaos chaos_soak
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,170 @@
+//! Randomized chaos soak: seed → random `(FaultPlan, ImpairPlan,
+//! workload, variant)` scenario → emulator run → transport invariant
+//! oracle ([`bench::chaos::check_invariants`]).
+//!
+//! The generators emit flat scalar tuples (the shrink-friendly idiom:
+//! mapped generators do not shrink, so the [`ChaosSpec`] is assembled
+//! inside the property body). Failures shrink to a minimal spec and
+//! persist a replayable case seed under `tests/tk-regressions/`.
+//!
+//! Case counts are `TK_CASES`-bounded: `scripts/ci.sh` runs the normal
+//! gate at 200 and `scripts/ci.sh soak` at 5000; the in-file defaults
+//! keep a bare `cargo test` fast.
+
+use bench::chaos::{check_invariants, ChaosSpec};
+use testkit::prop::{any_bool, range, tuple3, tuple4, Config};
+use testkit::{tk_assert, tk_assert_eq};
+
+/// Raw scenario scalars: `(seed, variant_idx, flows_idx, bytes_kb)`,
+/// `(loss_pm, reorder_pm, reorder_delay_us, dup_pm)`,
+/// `(corrupt_pm, notify_loss_pm, eps_burst)`.
+type RawSpec = (
+    (u64, u8, u8, u32),
+    (u32, u32, u32, u32),
+    (u32, u32, bool),
+);
+
+/// Scenario generator. Rates are bounded so that every scenario can
+/// honestly terminate inside [`bench::chaos::CHAOS_HORIZON`]: loss ≤
+/// 2.5%, reordering ≤ 15% with sub-ms extra delay, duplication ≤ 2%,
+/// corruption ≤ 1%, notification loss ≤ 5%.
+fn raw_spec() -> testkit::prop::Gen<RawSpec> {
+    tuple3(
+        tuple4(
+            range(0u64..1_000_000), // seed
+            range(0u8..3),          // variant_idx
+            range(0u8..3),          // flows_idx
+            range(0u32..256),       // bytes_kb on top of 16 kB
+        ),
+        tuple4(
+            range(0u32..26),   // loss_pm
+            range(0u32..151),  // reorder_pm
+            range(1u32..301),  // reorder_delay_us
+            range(0u32..21),   // dup_pm
+        ),
+        tuple3(
+            range(0u32..11), // corrupt_pm
+            range(0u32..51), // notify_loss_pm
+            any_bool(),      // eps_burst
+        ),
+    )
+}
+
+fn spec_from(raw: &RawSpec) -> ChaosSpec {
+    let ((seed, variant_idx, flows_idx, bytes_kb), (loss_pm, reorder_pm, reorder_delay_us, dup_pm), (corrupt_pm, notify_loss_pm, eps_burst)) =
+        *raw;
+    ChaosSpec {
+        seed,
+        variant_idx,
+        flows_idx,
+        bytes_kb,
+        loss_pm,
+        reorder_pm,
+        reorder_delay_us,
+        dup_pm,
+        corrupt_pm,
+        notify_loss_pm,
+        eps_burst,
+    }
+}
+
+testkit::props! {
+    // The soak itself: every random scenario must satisfy the transport
+    // invariant oracle — exactly-once in-order delivery with end-to-end
+    // checksum, byte conservation, no silent stall, stats sanity.
+    #[cases(48)]
+    fn chaos_soak(raw in raw_spec()) {
+        let spec = spec_from(&raw);
+        let res = spec.run();
+        if let Err(e) = check_invariants(&spec, &res) {
+            return Err(format!("{e}\n  spec: {spec:?}"));
+        }
+    }
+
+    // Clean subset: with every rate forced to zero the scenario is a
+    // plain run — all flows complete without error and the injectors
+    // never fire (the inert-plan guarantee end to end).
+    #[cases(12)]
+    fn chaos_clean_baseline(raw in raw_spec()) {
+        let ((seed, variant_idx, flows_idx, bytes_kb), _, _) = raw;
+        let spec = ChaosSpec {
+            seed,
+            variant_idx,
+            flows_idx,
+            bytes_kb,
+            loss_pm: 0,
+            reorder_pm: 0,
+            reorder_delay_us: 50,
+            dup_pm: 0,
+            corrupt_pm: 0,
+            notify_loss_pm: 0,
+            eps_burst: false,
+        };
+        let res = spec.run();
+        check_invariants(&spec, &res)?;
+        tk_assert_eq!(res.impairments.total(), 0);
+        tk_assert_eq!(res.faults.total(), 0);
+        for (i, c) in res.completions.iter().enumerate() {
+            tk_assert!(c.is_some(), "clean flow {i} did not complete");
+            tk_assert!(res.conn_errors[i].is_none(), "clean flow {i} errored");
+        }
+    }
+
+    // A chaos run is a pure function of its spec: running the same
+    // scenario twice produces bit-identical stats digests (the forked
+    // fault/impair streams replay exactly).
+    #[cases(8)]
+    fn chaos_run_is_deterministic(raw in raw_spec()) {
+        let spec = spec_from(&raw);
+        let a = spec.run();
+        let b = spec.run();
+        tk_assert_eq!(a.stats_digest(), b.stats_digest());
+        tk_assert_eq!(a.impair_log_digest, b.impair_log_digest);
+        tk_assert_eq!(a.impairments, b.impairments);
+        tk_assert_eq!(a.conn_errors, b.conn_errors);
+    }
+}
+
+/// The harness catches a deliberately seeded violation, shrinks it, and
+/// prints a replayable case seed — the failure path the soak relies on.
+/// The regression-seed file for this intentionally failing property goes
+/// to the target tmpdir, not the repo.
+#[test]
+fn chaos_seeded_violation_is_caught_and_shrunk() {
+    let gen = raw_spec();
+    let cfg = Config {
+        cases: 50,
+        max_shrink_iters: 150,
+        ..Config::default()
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        testkit::prop::check(
+            "chaos_seeded_violation",
+            env!("CARGO_TARGET_TMPDIR"),
+            cfg,
+            &gen,
+            |raw| {
+                let spec = spec_from(raw);
+                let res = spec.run();
+                check_invariants(&spec, &res)?;
+                // The seeded violation: pretend impairments are illegal.
+                if res.impairments.total() > 0 {
+                    return Err(format!(
+                        "seeded violation: {} impairments applied",
+                        res.impairments.total()
+                    ));
+                }
+                Ok(())
+            },
+        );
+    }));
+    let payload = outcome.expect_err("the seeded violation must be caught");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload should be a message");
+    assert!(msg.contains("case seed: 0x"), "no repro seed printed: {msg}");
+    assert!(msg.contains("minimal input"), "no shrunk input printed: {msg}");
+    assert!(msg.contains("seeded violation"), "wrong failure: {msg}");
+}

@@ -124,6 +124,66 @@ fn link_failure_runs_are_deterministic() {
     );
 }
 
+fn run_impaired(variant: Variant, seed: u64, impair: rdcn::ImpairPlan) -> u64 {
+    let mut net = NetConfig::paper_baseline();
+    net.impair = impair;
+    let wl = Workload {
+        flows: 4,
+        seed,
+        sample_every: SimDuration::from_micros(10),
+        ..Workload::bulk(variant, SimTime::from_millis(3))
+    };
+    wl.run(&net).stats_digest()
+}
+
+fn busy_impair_plan() -> rdcn::ImpairPlan {
+    rdcn::ImpairPlan {
+        loss_rate: 0.01,
+        reorder_rate: 0.05,
+        reorder_delay: SimDuration::from_micros(150),
+        duplicate_rate: 0.01,
+        corrupt_rate: 0.002,
+    }
+}
+
+/// Data-path impairment joins the determinism contract: the same
+/// (seed, plan) pair reproduces a bit-identical digest across multiple
+/// seeds and both headline variants, and every impaired digest diverges
+/// from its clean twin (the digest covers the impairment log).
+#[test]
+fn impaired_runs_are_deterministic() {
+    for variant in [Variant::Tdtcp, Variant::Cubic] {
+        for seed in [1u64, 0xBADC_AB1E] {
+            let a = run_impaired(variant, seed, busy_impair_plan());
+            let b = run_impaired(variant, seed, busy_impair_plan());
+            assert_eq!(
+                a, b,
+                "impaired digest diverged: variant={variant:?} seed={seed:#x}"
+            );
+            assert_ne!(
+                a,
+                run_once(variant, seed),
+                "an armed plan must perturb the digest: variant={variant:?}"
+            );
+        }
+    }
+}
+
+/// The inert-plan guarantee: constructing (but not arming) an
+/// [`rdcn::ImpairPlan`] makes zero RNG draws, so the clean digest is
+/// untouched — attaching `ImpairPlan::none()` explicitly is
+/// bit-identical to the baseline default.
+#[test]
+fn inert_impair_plan_leaves_clean_digest_unchanged() {
+    for variant in [Variant::Tdtcp, Variant::Cubic] {
+        assert_eq!(
+            run_impaired(variant, 1, rdcn::ImpairPlan::none()),
+            run_once(variant, 1),
+            "inert plan perturbed the clean digest: variant={variant:?}"
+        );
+    }
+}
+
 /// Per-connection half of the guarantee: a scripted TDTCP connection
 /// driven twice through the same notification/ACK/timer sequence lands
 /// on identical stats digests at every step (not just at the end).
