@@ -4,11 +4,12 @@
 //! the testkit microbench harness and writes `BENCH_simulator.json`.
 
 use bench::{Variant, Workload};
+use rdcn::voq::{Voq, VoqConfig};
 use rdcn::NetConfig;
 use simcore::{EventQueue, SimTime};
 use tcp::recv::Reassembler;
 use tcp::rtx::{RtxQueue, TxSeg};
-use tcp::SeqNum;
+use tcp::{Direction, FlowId, Segment, SeqNum};
 use testkit::bench::BenchConfig;
 use testkit::BenchSuite;
 use wire::TdnId;
@@ -24,6 +25,71 @@ fn bench_event_queue(suite: &mut BenchSuite) {
             acc = acc.wrapping_add(v);
         }
         acc
+    });
+}
+
+fn bench_event_queue_cancel(suite: &mut BenchSuite) {
+    // Timer churn: every flush cancels and re-arms a host timer, so the
+    // cancel path is as hot as schedule/pop in real runs.
+    suite.bench("event_queue_cancel_rearm_1k", || {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(1000);
+        for i in 0..1000u64 {
+            ids.push(q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i));
+        }
+        for id in ids.iter().step_by(2) {
+            q.cancel(*id);
+        }
+        for i in 0..500u64 {
+            q.schedule(SimTime::from_nanos(300_000 + i), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+}
+
+fn bench_voq(suite: &mut BenchSuite) {
+    // Mixed pinned/unpinned traffic through one VOQ: exercises the
+    // per-class occupancy counts on enqueue and the eligibility scan on
+    // dequeue, alternating the active TDN like a day/night schedule.
+    suite.bench("voq_pinned_mix_512", || {
+        let mut v = Voq::new(
+            "bench",
+            VoqConfig {
+                cap_pkts: 64,
+                ecn_threshold: Some(32),
+            },
+        );
+        let mut served = 0u64;
+        for round in 0..8u64 {
+            for i in 0..64u32 {
+                let mut s = Segment::new(FlowId(i % 4), Direction::DataPath);
+                s.len = 1000;
+                s.seq = SeqNum(i * 1000);
+                s.pin = match i % 3 {
+                    0 => None,
+                    r => Some(TdnId((r - 1) as u8)),
+                };
+                v.enqueue(SimTime::from_nanos(round * 1000 + u64::from(i)), s);
+            }
+            let active = Some(TdnId((round % 2) as u8));
+            while v
+                .dequeue_eligible(SimTime::from_nanos(round * 1000 + 500), active)
+                .is_some()
+            {
+                served += 1;
+            }
+        }
+        // Drain the pinned leftovers from the other TDN.
+        for t in [TdnId(0), TdnId(1)] {
+            while v.dequeue_eligible(SimTime::from_nanos(9000), Some(t)).is_some() {
+                served += 1;
+            }
+        }
+        (served, v.drops, v.ce_marks)
     });
 }
 
@@ -81,6 +147,8 @@ fn bench_emulator(suite: &mut BenchSuite) {
 fn main() {
     let mut suite = BenchSuite::new("simulator");
     bench_event_queue(&mut suite);
+    bench_event_queue_cancel(&mut suite);
+    bench_voq(&mut suite);
     bench_rtx_queue(&mut suite);
     bench_reassembler(&mut suite);
     suite.finish();

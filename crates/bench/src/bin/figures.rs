@@ -1,22 +1,64 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! figures [experiment...] [--horizon-ms N]
+//! figures [experiment...] [--horizon-ms N] [--jobs N] [--bench-json PATH]
 //!
 //! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
 //!              fig14a fig14b table1 notify ablation regime notify-sweep
 //!              faults impair
 //!              all   (everything above)
-//!              quick (table1 + fig10 + fig11 at a reduced horizon)
+//!              quick (adds table1 + fig10 + fig11 at a reduced horizon;
+//!                     other requested experiments still run)
+//!
+//! --jobs N      worker threads for sharded runs (default: the
+//!               FIGURES_JOBS env var, else available_parallelism();
+//!               --jobs 1 forces the serial path for debugging)
+//! --bench-json PATH   write per-experiment wall time + events/sec to
+//!                     PATH (default BENCH_figures.json in the cwd)
 //! ```
+//!
+//! Every experiment's sweep-style runs shard across worker threads via
+//! `simcore::par`; outputs are bit-identical to `--jobs 1` because run
+//! seeds live in the sharded items and results collect in index order.
 
 use bench::experiments::*;
 use simcore::SimTime;
+use std::sync::atomic::Ordering;
+
+/// One experiment's timing record for `BENCH_figures.json`.
+struct ExpTiming {
+    name: String,
+    wall_s: f64,
+    events: u64,
+    events_per_sec: f64,
+}
+
+fn write_bench_json(path: &str, jobs: usize, timings: &[ExpTiming]) {
+    let mut out = String::from("{\n  \"suite\": \"figures\",\n  \"unit\": \"seconds\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n  \"results\": [\n"));
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            t.name,
+            t.wall_s,
+            t.events,
+            t.events_per_sec,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!("figures: wrote {path}"),
+        Err(e) => eprintln!("figures: could not write {path}: {e}"),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut horizon = default_horizon();
     let mut wanted: Vec<String> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut bench_json = "BENCH_figures.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -27,15 +69,41 @@ fn main() {
                     .expect("--horizon-ms needs a number");
                 horizon = SimTime::from_millis(v);
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a number >= 1");
+                jobs = Some(v);
+            }
+            "--bench-json" => {
+                bench_json = it.next().expect("--bench-json needs a path").clone();
+            }
             other => wanted.push(other.to_string()),
         }
     }
+    // Worker count: --jobs beats FIGURES_JOBS beats available_parallelism.
+    let jobs = jobs
+        .or_else(|| {
+            std::env::var("FIGURES_JOBS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or_else(simcore::par::available)
+        .max(1);
+    simcore::par::set_default_jobs(jobs);
+
     if wanted.is_empty() {
         wanted.push("all".to_string());
     }
-    if wanted.iter().any(|w| w == "quick") {
+    // `quick` expands in place: the reduced horizon applies, and its
+    // experiment set merges with whatever else was requested instead of
+    // clobbering it (`figures quick faults` runs faults too).
+    if let Some(pos) = wanted.iter().position(|w| w == "quick") {
         horizon = SimTime::from_millis(25);
-        wanted = vec!["table1".into(), "fig10".into(), "fig11".into()];
+        wanted.splice(pos..=pos, ["table1", "fig10", "fig11"].map(String::from));
+        let mut seen = std::collections::HashSet::new();
+        wanted.retain(|w| seen.insert(w.clone()));
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
@@ -50,12 +118,15 @@ fn main() {
 
     let warmup = default_warmup();
     println!(
-        "# TDTCP reproduction figures (horizon {} ms, warmup {} ms, 16 flows)",
+        "# TDTCP reproduction figures (horizon {} ms, warmup {} ms, 16 flows, {} jobs)",
         horizon.as_nanos() / 1_000_000,
-        warmup.as_nanos() / 1_000_000
+        warmup.as_nanos() / 1_000_000,
+        jobs
     );
 
+    let mut timings = Vec::new();
     for w in &wanted {
+        let ev0 = rdcn::EVENTS_TOTAL.load(Ordering::Relaxed);
         let t0 = std::time::Instant::now();
         match w.as_str() {
             "table1" => table1::run(horizon, warmup).print(),
@@ -83,9 +154,9 @@ fn main() {
             }
             "shortflows" => {
                 use bench::Variant;
-                let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]
-                    .into_iter()
-                    .map(|v| {
+                let rows = simcore::par::par_map(
+                    vec![Variant::Tdtcp, Variant::Cubic],
+                    |_, v| {
                         shortflows::short_flows(
                             v,
                             64,
@@ -94,8 +165,8 @@ fn main() {
                             4,
                             horizon,
                         )
-                    })
-                    .collect();
+                    },
+                );
                 shortflows::print_short_flows(&rows);
             }
             "multirack" => multirack::run(SimTime::from_millis(15)).print(),
@@ -103,14 +174,24 @@ fn main() {
             "impair" => impairsweep::run(horizon).print(),
             "fairness" => {
                 use bench::Variant;
-                let rows: Vec<_> = [Variant::Tdtcp, Variant::Cubic]
-                    .into_iter()
-                    .map(|v| shortflows::fairness(v, horizon))
-                    .collect();
+                let rows = simcore::par::par_map(
+                    vec![Variant::Tdtcp, Variant::Cubic],
+                    |_, v| shortflows::fairness(v, horizon),
+                );
                 shortflows::print_fairness(&rows);
             }
             other => eprintln!("unknown experiment: {other}"),
         }
-        eprintln!("[{w} took {:.1}s]", t0.elapsed().as_secs_f64());
+        let wall_s = t0.elapsed().as_secs_f64();
+        let events = rdcn::EVENTS_TOTAL.load(Ordering::Relaxed) - ev0;
+        let events_per_sec = if wall_s > 0.0 { events as f64 / wall_s } else { 0.0 };
+        eprintln!("[{w} took {wall_s:.1}s, {events} events, {events_per_sec:.0} events/s]");
+        timings.push(ExpTiming {
+            name: w.clone(),
+            wall_s,
+            events,
+            events_per_sec,
+        });
     }
+    write_bench_json(&bench_json, jobs, &timings);
 }

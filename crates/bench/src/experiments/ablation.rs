@@ -63,34 +63,26 @@ fn run_tdtcp_cfg(label: &str, mutate: impl Fn(&mut TdtcpConfig), horizon: SimTim
     (label.to_string(), res.total_acked(), spurious, rtos)
 }
 
-/// Named tweak applied to the baseline TDTCP configuration.
-type ConfigTweak<'a> = (&'a str, Box<dyn Fn(&mut TdtcpConfig)>);
+/// Named tweak applied to the baseline TDTCP configuration. A plain fn
+/// pointer (not a boxed closure) so the config table is `Sync` and the
+/// runs can shard across worker threads.
+type ConfigTweak = (&'static str, fn(&mut TdtcpConfig));
 
 /// The design-decision ablation table.
 pub fn design_ablation(horizon: SimTime) -> Vec<AblationRow> {
     let configs: Vec<ConfigTweak> = vec![
-        ("full tdtcp", Box::new(|_c: &mut TdtcpConfig| {})),
-        (
-            "no per-TDN state",
-            Box::new(|c: &mut TdtcpConfig| c.per_tdn_state = false),
-        ),
-        (
-            "no relaxed reordering",
-            Box::new(|c: &mut TdtcpConfig| c.relaxed_reordering = false),
-        ),
-        (
-            "no pessimistic RTO",
-            Box::new(|c: &mut TdtcpConfig| c.pessimistic_rto = false),
-        ),
-        (
-            "no pacing",
-            Box::new(|c: &mut TdtcpConfig| c.tcp.pacing = false),
-        ),
+        ("full tdtcp", |_c| {}),
+        ("no per-TDN state", |c| c.per_tdn_state = false),
+        ("no relaxed reordering", |c| c.relaxed_reordering = false),
+        ("no pessimistic RTO", |c| c.pessimistic_rto = false),
+        ("no pacing", |c| c.tcp.pacing = false),
     ];
+    let runs = simcore::par::par_map(configs, |_, (label, mutate)| {
+        run_tdtcp_cfg(label, mutate, horizon)
+    });
     let mut rows = Vec::new();
     let mut full_acked = 0u64;
-    for (label, mutate) in configs {
-        let (label, acked, spurious, rtos) = run_tdtcp_cfg(label, mutate, horizon);
+    for (label, acked, spurious, rtos) in runs {
         if label == "full tdtcp" {
             full_acked = acked;
         }
@@ -139,8 +131,14 @@ pub struct RegimePoint {
 /// CUBIC. The §3.5 claim: the TDTCP advantage lives roughly where days
 /// are 1–100× the RTT and fades at the extremes.
 pub fn regime_sweep(day_lens_us: &[u64], weeks: u64) -> Vec<RegimePoint> {
-    let mut out = Vec::new();
-    for &day_us in day_lens_us {
+    // Shard at (day length, variant) granularity: each of the 2·N runs is
+    // independent, and the longest day lengths dominate the sweep's wall
+    // time, so finer shards keep all workers busy.
+    let items: Vec<(u64, Variant)> = day_lens_us
+        .iter()
+        .flat_map(|&day_us| [(day_us, Variant::Tdtcp), (day_us, Variant::Cubic)])
+        .collect();
+    let acked = simcore::par::par_map(items, |_, (day_us, v)| {
         let night_us = (day_us / 9).max(1);
         let mut net = NetConfig::paper_baseline();
         net.schedule = Schedule {
@@ -157,16 +155,17 @@ pub fn regime_sweep(day_lens_us: &[u64], weeks: u64) -> Vec<RegimePoint> {
             ],
         };
         let horizon = SimTime::ZERO + net.schedule.week_len() * weeks;
-        let run = |v: Variant| Workload::bulk(v, horizon).run(&net).total_acked() as f64;
-        let tdtcp = run(Variant::Tdtcp);
-        let cubic = run(Variant::Cubic);
-        out.push(RegimePoint {
+        Workload::bulk(v, horizon).run(&net).total_acked() as f64
+    });
+    day_lens_us
+        .iter()
+        .zip(acked.chunks_exact(2))
+        .map(|(&day_us, pair)| RegimePoint {
             day_us,
             day_rtts: day_us as f64 / 100.0,
-            tdtcp_gain: tdtcp / cubic,
-        });
-    }
-    out
+            tdtcp_gain: pair[0] / pair[1],
+        })
+        .collect()
 }
 
 /// Print the regime sweep.
@@ -184,17 +183,14 @@ pub fn print_regime(points: &[RegimePoint]) {
 /// Notification-latency sensitivity: TDTCP goodput as extra delivery
 /// delay grows toward a whole day length.
 pub fn notify_sweep(extra_us: &[u64], horizon: SimTime) -> Vec<(u64, u64)> {
-    extra_us
-        .iter()
-        .map(|&us| {
-            let mut net = NetConfig::paper_baseline();
-            net.notify.extra_delay = SimDuration::from_micros(us);
-            let acked = Workload::bulk(Variant::Tdtcp, horizon)
-                .run(&net)
-                .total_acked();
-            (us, acked)
-        })
-        .collect()
+    simcore::par::par_map(extra_us.to_vec(), |_, us| {
+        let mut net = NetConfig::paper_baseline();
+        net.notify.extra_delay = SimDuration::from_micros(us);
+        let acked = Workload::bulk(Variant::Tdtcp, horizon)
+            .run(&net)
+            .total_acked();
+        (us, acked)
+    })
 }
 
 /// Print the notification sweep.

@@ -105,13 +105,18 @@ pub fn run(horizon: SimTime) -> FaultSweep {
     let base = NetConfig::paper_baseline();
 
     // --- notification-loss sweep ---
-    let mut loss = Vec::new();
-    let mut clean_gbps = 0.0;
-    for &rate in &LOSS_RATES {
+    // Runs shard across workers; the clean ratio needs the 0% run's
+    // goodput, so normalize after collection (results arrive in sweep
+    // order regardless of which worker ran them).
+    let runs = simcore::par::par_map(LOSS_RATES.to_vec(), |_, rate| {
         let mut net = base.clone();
         net.faults = FaultPlan::notification_loss(rate);
         let res = Workload::bulk(Variant::Tdtcp, horizon).run(&net);
-        let g = steady_goodput_gbps(&res, warmup, horizon);
+        (rate, steady_goodput_gbps(&res, warmup, horizon), res)
+    });
+    let mut loss = Vec::new();
+    let mut clean_gbps = 0.0;
+    for (rate, g, res) in runs {
         if rate == 0.0 {
             clean_gbps = g;
         }
@@ -142,21 +147,23 @@ pub fn run(horizon: SimTime) -> FaultSweep {
     let fail_at = sched.day_start(fail_day) + sched.day_len.mul_f64(0.5);
     let recover_at = sched.day_start(fail_day + outage_days);
 
-    let mut recovery = Vec::new();
-    for variant in [Variant::Tdtcp, Variant::Cubic, Variant::ReTcp] {
-        let mut net = base.clone();
-        net.faults = FaultPlan {
-            link_failure: Some(lf),
-            ..FaultPlan::default()
-        };
-        let res = Workload::bulk(variant, horizon).run(&net);
-        recovery.push(RecoveryRow {
-            variant,
-            before_gbps: steady_goodput_gbps(&res, warmup, fail_at),
-            during_gbps: steady_goodput_gbps(&res, fail_at, recover_at),
-            after_gbps: steady_goodput_gbps(&res, recover_at, horizon),
-        });
-    }
+    let recovery = simcore::par::par_map(
+        vec![Variant::Tdtcp, Variant::Cubic, Variant::ReTcp],
+        |_, variant| {
+            let mut net = base.clone();
+            net.faults = FaultPlan {
+                link_failure: Some(lf),
+                ..FaultPlan::default()
+            };
+            let res = Workload::bulk(variant, horizon).run(&net);
+            RecoveryRow {
+                variant,
+                before_gbps: steady_goodput_gbps(&res, warmup, fail_at),
+                during_gbps: steady_goodput_gbps(&res, fail_at, recover_at),
+                after_gbps: steady_goodput_gbps(&res, recover_at, horizon),
+            }
+        },
+    );
 
     FaultSweep {
         loss,

@@ -57,27 +57,37 @@ fn summarize(label: &str, mut cdf: Cdf) -> DayCdf {
 /// Run the Fig. 10 experiment.
 pub fn run(horizon: SimTime) -> Fig10 {
     let net = NetConfig::paper_baseline();
+    let per_variant = simcore::par::par_map(
+        vec![Variant::Cubic, Variant::Mptcp, Variant::Tdtcp],
+        |_, v| {
+            let res = Workload::bulk(v, horizon).run(&net);
+            let mut ev = Cdf::new();
+            let mut mk = Cdf::new();
+            let mut sp = Cdf::new();
+            // Skip the first two weeks of convergence transients.
+            for rec in res
+                .day_records
+                .iter()
+                .filter(|r| r.day >= 14 && r.tdn == net.circuit_tdn)
+            {
+                ev.add(rec.reorder_events as f64);
+                mk.add(rec.reorder_marked_pkts as f64);
+                sp.add(rec.spurious_retransmits as f64);
+            }
+            (
+                summarize(v.label(), ev),
+                summarize(v.label(), mk),
+                summarize(v.label(), sp),
+            )
+        },
+    );
     let mut events = Vec::new();
     let mut marked = Vec::new();
     let mut spurious = Vec::new();
-    for v in [Variant::Cubic, Variant::Mptcp, Variant::Tdtcp] {
-        let res = Workload::bulk(v, horizon).run(&net);
-        let mut ev = Cdf::new();
-        let mut mk = Cdf::new();
-        let mut sp = Cdf::new();
-        // Skip the first two weeks of convergence transients.
-        for rec in res
-            .day_records
-            .iter()
-            .filter(|r| r.day >= 14 && r.tdn == net.circuit_tdn)
-        {
-            ev.add(rec.reorder_events as f64);
-            mk.add(rec.reorder_marked_pkts as f64);
-            sp.add(rec.spurious_retransmits as f64);
-        }
-        events.push(summarize(v.label(), ev));
-        marked.push(summarize(v.label(), mk));
-        spurious.push(summarize(v.label(), sp));
+    for (ev, mk, sp) in per_variant {
+        events.push(ev);
+        marked.push(mk);
+        spurious.push(sp);
     }
     Fig10 {
         events,

@@ -35,22 +35,23 @@ impl Fig11 {
 }
 
 /// Run both notification configurations, averaging three seeds (the
-/// notification latencies are the stochastic element under test).
+/// notification latencies are the stochastic element under test). All
+/// six (config, seed) runs shard across workers.
 pub fn run(horizon: SimTime) -> Fig11 {
-    let run_with = |notify: NotifyConfig| {
-        let mut total = 0u64;
-        for seed in [1, 2, 3] {
-            let mut net = NetConfig::paper_baseline();
-            net.notify = notify;
-            net.seed = seed;
-            let mut wl = Workload::bulk(Variant::Tdtcp, horizon);
-            wl.seed = seed;
-            total += wl.run(&net).total_acked();
-        }
-        total / 3
-    };
+    let items: Vec<(NotifyConfig, u64)> = [NotifyConfig::optimized(), NotifyConfig::unoptimized()]
+        .into_iter()
+        .flat_map(|n| [1, 2, 3].map(|seed| (n, seed)))
+        .collect();
+    let acked = simcore::par::par_map(items, |_, (notify, seed)| {
+        let mut net = NetConfig::paper_baseline();
+        net.notify = notify;
+        net.seed = seed;
+        let mut wl = Workload::bulk(Variant::Tdtcp, horizon);
+        wl.seed = seed;
+        wl.run(&net).total_acked()
+    });
     Fig11 {
-        optimized: run_with(NotifyConfig::optimized()),
-        unoptimized: run_with(NotifyConfig::unoptimized()),
+        optimized: acked[..3].iter().sum::<u64>() / 3,
+        unoptimized: acked[3..].iter().sum::<u64>() / 3,
     }
 }

@@ -141,50 +141,52 @@ pub fn run(horizon: SimTime) -> ImpairSweep {
     let warmup = default_warmup();
 
     // Per-variant clean baselines (also the loss sweep's 0% points).
-    let mut clean = Vec::new();
-    for variant in VARIANTS {
+    // These gate every other point's clean_ratio, so they are the one
+    // barrier in the sweep; everything after shards fully.
+    let clean = simcore::par::par_map(VARIANTS.to_vec(), |_, variant| {
         let res = Workload::bulk(variant, horizon).run(&NetConfig::paper_baseline());
-        clean.push(steady_goodput_gbps(&res, warmup, horizon));
-    }
+        steady_goodput_gbps(&res, warmup, horizon)
+    });
 
-    let mut loss = Vec::new();
+    // Flatten all three dimensions into one (rate, variant, plan) list so
+    // every point shards across workers in a single pass, then split the
+    // ordered results back into their tables.
+    let mut points: Vec<(f64, usize, ImpairPlan)> = Vec::new();
     for &rate in &LOSS_RATES {
-        for (vi, &variant) in VARIANTS.iter().enumerate() {
-            loss.push(measure(
-                variant,
-                rate,
-                ImpairPlan::loss(rate),
-                clean[vi],
-                horizon,
-            ));
+        for vi in 0..VARIANTS.len() {
+            points.push((rate, vi, ImpairPlan::loss(rate)));
         }
     }
-
-    let mut reorder = Vec::new();
+    let n_loss = points.len();
     for &rate in &REORDER_RATES {
-        for (vi, &variant) in VARIANTS.iter().enumerate() {
+        for vi in 0..VARIANTS.len() {
             let plan = ImpairPlan {
                 reorder_rate: rate,
                 reorder_delay: SimDuration::from_micros(150),
                 ..ImpairPlan::default()
             };
-            reorder.push(measure(variant, rate, plan, clean[vi], horizon));
+            points.push((rate, vi, plan));
         }
     }
-
-    let mut corrupt = Vec::new();
+    let n_reorder = points.len() - n_loss;
     for &rate in &CORRUPT_RATES {
-        for (vi, &variant) in VARIANTS.iter().enumerate() {
+        for vi in 0..VARIANTS.len() {
             let plan = ImpairPlan {
                 corrupt_rate: rate,
                 ..ImpairPlan::default()
             };
-            corrupt.push(measure(variant, rate, plan, clean[vi], horizon));
+            points.push((rate, vi, plan));
         }
     }
 
+    let mut rows = simcore::par::par_map(points, |_, (rate, vi, plan)| {
+        measure(VARIANTS[vi], rate, plan, clean[vi], horizon)
+    });
+    let corrupt = rows.split_off(n_loss + n_reorder);
+    let reorder = rows.split_off(n_loss);
+
     ImpairSweep {
-        loss,
+        loss: rows,
         reorder,
         corrupt,
     }

@@ -28,8 +28,7 @@ pub fn run(horizon: SimTime) -> MultiRack {
         })
         .collect();
     let cc = CcConfig::default();
-    let mut rows = Vec::new();
-    for label in ["tdtcp", "cubic"] {
+    let rows = simcore::par::par_map(vec!["tdtcp", "cubic"], |_, label| {
         let emu = MultiRackEmulator::new(cfg.clone(), flows.clone(), |i, _| {
             if label == "tdtcp" {
                 let c = TdtcpConfig::default();
@@ -59,8 +58,8 @@ pub fn run(horizon: SimTime) -> MultiRack {
             }
         });
         let res = emu.run(horizon);
-        rows.push((label.to_string(), res.total_acked(), res.drops));
-    }
+        (label.to_string(), res.total_acked(), res.drops)
+    });
     MultiRack {
         rows,
         eps_ceiling: 8.0 * 10e9 / 8.0 * horizon.as_secs_f64(),

@@ -89,7 +89,7 @@ pub fn run(
     );
     series.push(("optimal".to_string(), optimal));
 
-    for &v in variants {
+    series.extend(simcore::par::par_map(variants.to_vec(), |_, v| {
         let wl = Workload::bulk(v, horizon);
         let res = wl.run(net);
         let base = res.seq_series.value_at(window_start, 0.0);
@@ -99,8 +99,8 @@ pub fn run(
                 res.seq_series.value_at(tt, 0.0) - base
             })
             .collect();
-        series.push((v.label().to_string(), vals));
-    }
+        (v.label().to_string(), vals)
+    }));
 
     let packet_only: Vec<f64> = analytic::sample_curve(
         |tt| analytic::packet_only_bytes(net, tt),

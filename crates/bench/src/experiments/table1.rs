@@ -65,16 +65,14 @@ impl Table1 {
 /// Run every variant and build the table.
 pub fn run(horizon: SimTime, warmup: SimTime) -> Table1 {
     let net = NetConfig::paper_baseline();
-    let mut measured: Vec<(String, f64)> = ALL_VARIANTS
-        .iter()
-        .map(|&v| {
+    let mut measured: Vec<(String, f64)> =
+        simcore::par::par_map(ALL_VARIANTS.to_vec(), |_, v| {
             let res = Workload::bulk(v, horizon).run(&net);
             (
                 v.label().to_string(),
                 steady_goodput_gbps(&res, warmup, horizon) / 1.0,
             )
-        })
-        .collect();
+        });
     measured.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
     let cubic = measured
         .iter()

@@ -85,8 +85,7 @@ pub fn run(
         grid_us.push(t.as_micros());
         t += step;
     }
-    let mut out = Vec::new();
-    for &v in variants {
+    let out = simcore::par::par_map(variants.to_vec(), |_, v| {
         let wl = Workload::bulk(v, horizon);
         let res = wl.run(net);
         let (mut sum, mut n, mut max) = (0.0f64, 0u64, 0.0f64);
@@ -117,15 +116,15 @@ pub fn run(
                     .value_at(window_start + SimDuration::from_micros(us), 0.0)
             })
             .collect();
-        out.push(VoqSummary {
+        VoqSummary {
             label: v.label().to_string(),
             mean: sum / n.max(1) as f64,
             max,
             mean_packet_days: psum / pn.max(1) as f64,
             mean_optical_days: osum / on.max(1) as f64,
             trace,
-        });
-    }
+        }
+    });
     VoqFigure {
         name,
         grid_us,

@@ -46,6 +46,24 @@ enum Dir {
     Ba,
 }
 
+/// Process-wide count of simulator events executed, summed over every
+/// [`Emulator`] (and multi-rack) run that completed in this process.
+/// The figure harness snapshots it around each experiment to report
+/// events/sec; runs on worker threads add their counts atomically.
+pub static EVENTS_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Which flows an event can have called into. Only events that reach a
+/// transport (`on_segment`/`on_timer`/`on_tdn_notification`/
+/// `on_circuit_prepare`/construction) can flip a flow's `is_done`, so the
+/// post-event completion check only needs to look at those flows instead
+/// of scanning every sender after every event (the old hot-loop cost:
+/// `n_flows` virtual calls per event).
+enum Touched {
+    None,
+    One(usize),
+    All,
+}
+
 enum Ev {
     StartFlow { flow: usize },
     Arrive { side: Side, flow: usize, seg: Segment },
@@ -107,6 +125,10 @@ pub struct RunResult {
     pub duration: SimDuration,
     /// Events processed (a performance counter).
     pub events: u64,
+    /// Wall-clock time the run took. Excluded from [`RunResult::
+    /// stats_digest`]: it is a property of the machine, not of the
+    /// simulated system.
+    pub wall: std::time::Duration,
     /// Faults actually injected during the run (all zero for an empty
     /// [`crate::FaultPlan`]).
     pub faults: FaultStats,
@@ -141,6 +163,16 @@ impl RunResult {
     /// Aggregate acknowledged bytes at the end of the run.
     pub fn total_acked(&self) -> u64 {
         self.sender_stats.iter().map(|s| s.bytes_acked).sum()
+    }
+
+    /// Simulator throughput: events processed per wall-clock second
+    /// (0.0 if the run was too fast for the clock to register).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.events as f64 / secs
     }
 
     /// Notifications lost to injected faults.
@@ -306,6 +338,12 @@ pub struct Emulator<'a> {
     /// Completion time of each flow (first instant its sender reported
     /// done), if it finished within the run.
     completions: Vec<Option<SimTime>>,
+    /// Flows whose sender has been constructed (== n_flows once every
+    /// staggered flow has started).
+    started: usize,
+    /// Flows with a recorded completion; the run terminates early when
+    /// this reaches n_flows with every flow started.
+    done_count: usize,
     timer_slots: Vec<[Option<(SimTime, EventId)>; 2]>,
     /// Per-rack shared uplink availability: the testbed emulates each rack
     /// as one machine with one data NIC, so all of a rack's hosts
@@ -357,6 +395,8 @@ impl<'a> Emulator<'a> {
             timed_factory: None,
             specs: (0..n_flows).map(|_| FlowSpec { start: SimTime::ZERO }).collect(),
             completions: vec![None; n_flows],
+            started: n_flows,
+            done_count: 0,
             timer_slots: vec![[None, None]; n_flows],
             nic_free: [SimTime::ZERO; 2],
             service_pending: [false, false],
@@ -399,6 +439,8 @@ impl<'a> Emulator<'a> {
             timed_factory: Some(factory),
             specs,
             completions: vec![None; n_flows],
+            started: 0,
+            done_count: 0,
             timer_slots: vec![[None, None]; n_flows],
             nic_free: [SimTime::ZERO; 2],
             service_pending: [false, false],
@@ -422,6 +464,7 @@ impl<'a> Emulator<'a> {
     /// Run until `until` (or until every flow finishes). Consumes the
     /// emulator and returns the collected results.
     pub fn run(mut self, until: SimTime) -> RunResult {
+        let wall_start = std::time::Instant::now();
         self.q.schedule(SimTime::ZERO, Ev::DayStart { day: 0 });
         self.q.schedule(SimTime::ZERO, Ev::Sample);
         if self.timed_factory.is_some() {
@@ -434,12 +477,29 @@ impl<'a> Emulator<'a> {
                 self.flush(SimTime::ZERO, Side::A, i);
                 self.flush(SimTime::ZERO, Side::B, i);
             }
+            // A degenerate flow can be done at construction; record it at
+            // t = 0 (the first event always pops at t = 0, so this matches
+            // the per-event check's timestamp).
+            for i in 0..self.senders.len() {
+                self.note_completion(SimTime::ZERO, i);
+            }
         }
 
         while let Some((now, ev)) = self.q.pop() {
             if now > until {
                 break;
             }
+            // A flow's `is_done` can only flip during an event that calls
+            // into its transports, so the completion check below only
+            // visits the flow(s) this event touched.
+            let touched = match &ev {
+                Ev::StartFlow { flow }
+                | Ev::Arrive { flow, .. }
+                | Ev::Notify { flow, .. }
+                | Ev::HostTimer { flow, .. } => Touched::One(*flow),
+                Ev::Prepare => Touched::All,
+                _ => Touched::None,
+            };
             match ev {
                 Ev::StartFlow { flow } => {
                     let (s, r) = self
@@ -448,6 +508,7 @@ impl<'a> Emulator<'a> {
                         .expect("staggered emulator")(flow, now);
                     self.senders[flow] = Some(s);
                     self.receivers[flow] = Some(r);
+                    self.started += 1;
                     self.flush(now, Side::A, flow);
                     self.flush(now, Side::B, flow);
                 }
@@ -542,26 +603,22 @@ impl<'a> Emulator<'a> {
                     }
                 }
             }
-            for (i, s) in self.senders.iter().enumerate() {
-                if let Some(s) = s {
-                    if s.is_done() && self.completions[i].is_none() {
-                        self.completions[i] = Some(now);
-                        match s.conn_error() {
-                            Some(e) => self
-                                .recorder
-                                .record(now, format!("flow {i} aborted: {e:?}")),
-                            None => self.recorder.record(now, format!("flow {i} completed")),
-                        }
+            match touched {
+                Touched::None => {}
+                Touched::One(flow) => self.note_completion(now, flow),
+                Touched::All => {
+                    for flow in 0..self.senders.len() {
+                        self.note_completion(now, flow);
                     }
                 }
             }
-            let all_started = self.senders.iter().all(Option::is_some);
-            if all_started && self.senders.iter().flatten().all(|s| s.is_done()) {
+            if self.started == self.senders.len() && self.done_count == self.senders.len() {
                 break;
             }
         }
 
         let duration = self.q.now().saturating_since(SimTime::ZERO);
+        EVENTS_TOTAL.fetch_add(self.q.events_processed(), std::sync::atomic::Ordering::Relaxed);
         RunResult {
             seq_series: self.seq_series,
             drops_ab: self.voq_ab.drops,
@@ -593,11 +650,32 @@ impl<'a> Emulator<'a> {
             day_records: self.day_records,
             duration,
             events: self.q.events_processed(),
+            wall: wall_start.elapsed(),
             faults: *self.faults.stats(),
             fault_log_digest: self.faults.log_digest(),
             impairments: *self.impair.stats(),
             impair_log_digest: self.impair.log_digest(),
             flight_log: self.recorder.into_events(),
+        }
+    }
+
+    /// Record flow `flow`'s completion time the first time its sender
+    /// reports done. Called only for flows the current event touched.
+    fn note_completion(&mut self, now: SimTime, flow: usize) {
+        if self.completions[flow].is_some() {
+            return;
+        }
+        let Some(s) = &self.senders[flow] else { return };
+        if !s.is_done() {
+            return;
+        }
+        self.completions[flow] = Some(now);
+        self.done_count += 1;
+        match s.conn_error() {
+            Some(e) => self
+                .recorder
+                .record(now, format!("flow {flow} aborted: {e:?}")),
+            None => self.recorder.record(now, format!("flow {flow} completed")),
         }
     }
 

@@ -25,7 +25,9 @@ pub use faults::{
     DayFate, EpsBurst, EpsVerdict, FaultInjector, FaultPlan, FaultStats, InjectedFault,
     LinkFailure, NotifyVerdict, ScheduleFreeze, FAULT_STREAM_LABEL,
 };
-pub use emulator::{DayRecord, Emulator, EndpointFactory, FlowSpec, RunResult, TimedEndpointFactory};
+pub use emulator::{
+    DayRecord, Emulator, EndpointFactory, FlowSpec, RunResult, TimedEndpointFactory, EVENTS_TOTAL,
+};
 pub use impair::{
     ImpairEvent, ImpairInjector, ImpairPlan, ImpairStats, ImpairVerdict, IMPAIR_STREAM_LABEL,
 };

@@ -202,10 +202,27 @@ impl<'a> MultiRackEmulator<'a> {
             self.flush(SimTime::ZERO, i, true);
             self.flush(SimTime::ZERO, i, false);
         }
+        // Flows finish only during events that call into their
+        // transports, so track doneness per touched flow instead of
+        // scanning every sender after every event.
+        let mut done = vec![false; self.senders.len()];
+        let mut done_count = 0;
+        for (i, s) in self.senders.iter().enumerate() {
+            if s.is_done() {
+                done[i] = true;
+                done_count += 1;
+            }
+        }
         while let Some((now, ev)) = self.q.pop() {
             if now > until {
                 break;
             }
+            let touched = match &ev {
+                Ev::Arrive { flow, .. }
+                | Ev::Notify { flow, .. }
+                | Ev::HostTimer { flow, .. } => Some(*flow),
+                _ => None,
+            };
             match ev {
                 Ev::Arrive { flow, to_sender, seg } => {
                     self.host(flow, to_sender).on_segment(now, &seg);
@@ -237,10 +254,18 @@ impl<'a> MultiRackEmulator<'a> {
                     self.flush(now, flow, to_sender);
                 }
             }
-            if self.senders.iter().all(|s| s.is_done()) {
+            if let Some(flow) = touched {
+                if !done[flow] && self.senders[flow].is_done() {
+                    done[flow] = true;
+                    done_count += 1;
+                }
+            }
+            if done_count == self.senders.len() {
                 break;
             }
         }
+        crate::emulator::EVENTS_TOTAL
+            .fetch_add(self.q.events_processed(), std::sync::atomic::Ordering::Relaxed);
         MultiRackResult {
             sender_stats: self.senders.iter().map(|s| *s.stats()).collect(),
             receiver_stats: self.receivers.iter().map(|r| *r.stats()).collect(),

@@ -39,6 +39,13 @@ pub struct Voq {
     cap: usize,
     base_cap: usize,
     ecn_k: Option<usize>,
+    /// Occupancy per pin class (index 0 = unpinned, 1 + tdn = pinned).
+    /// Kept in sync with `q` so the per-class cap/ECN check at enqueue
+    /// and the eligibility test are O(1) instead of a queue scan.
+    class_len: Vec<usize>,
+    /// Total pinned segments queued; zero means every segment is
+    /// eligible and dequeue can take the head without scanning.
+    pinned_total: usize,
     /// Occupancy over time, the raw series behind Figs. 7b/8b/13/14.
     gauge: Gauge,
     /// Tail drops.
@@ -49,6 +56,11 @@ pub struct Voq {
     pub ce_marks: u64,
 }
 
+/// Pin-class index: unpinned traffic is class 0, TDN `t` is class `1+t`.
+fn class_of(pin: Option<TdnId>) -> usize {
+    pin.map_or(0, |t| 1 + t.0 as usize)
+}
+
 impl Voq {
     /// New VOQ with the given config; `name` labels its trace series.
     pub fn new(name: impl Into<String>, cfg: VoqConfig) -> Self {
@@ -57,6 +69,8 @@ impl Voq {
             cap: cfg.cap_pkts,
             base_cap: cfg.cap_pkts,
             ecn_k: cfg.ecn_threshold,
+            class_len: Vec::new(),
+            pinned_total: 0,
             gauge: Gauge::new(name, 0.0),
             drops: 0,
             enqueued: 0,
@@ -99,7 +113,11 @@ impl Voq {
     /// traffic out of buffer space. Single-path variants (all unpinned)
     /// see exactly one 16-packet queue.
     pub fn enqueue(&mut self, now: SimTime, mut seg: Segment) -> bool {
-        let class_len = self.q.iter().filter(|s| s.pin == seg.pin).count();
+        let class = class_of(seg.pin);
+        if class >= self.class_len.len() {
+            self.class_len.resize(class + 1, 0);
+        }
+        let class_len = self.class_len[class];
         if class_len >= self.cap {
             self.drops += 1;
             return false;
@@ -109,6 +127,10 @@ impl Voq {
                 seg.ecn = Ecn::Ce;
                 self.ce_marks += 1;
             }
+        }
+        self.class_len[class] += 1;
+        if seg.pin.is_some() {
+            self.pinned_total += 1;
         }
         self.q.push_back(seg);
         self.enqueued += 1;
@@ -123,11 +145,25 @@ impl Voq {
     /// §2.1).
     pub fn dequeue_eligible(&mut self, now: SimTime, active: Option<TdnId>) -> Option<Segment> {
         let active = active?;
-        let idx = self
-            .q
-            .iter()
-            .position(|s| s.pin.is_none_or(|p| p == active))?;
-        let seg = self.q.remove(idx).expect("index in range");
+        if !self.has_eligible(Some(active)) {
+            return None;
+        }
+        let seg = if self.pinned_total == 0 {
+            // All-unpinned queue (the single-path variants): the head is
+            // always eligible, no scan needed.
+            self.q.pop_front().expect("has_eligible implies non-empty")
+        } else {
+            let idx = self
+                .q
+                .iter()
+                .position(|s| s.pin.is_none_or(|p| p == active))
+                .expect("class counts said an eligible segment exists");
+            self.q.remove(idx).expect("index in range")
+        };
+        self.class_len[class_of(seg.pin)] -= 1;
+        if seg.pin.is_some() {
+            self.pinned_total -= 1;
+        }
         self.gauge.set(now, self.q.len() as f64);
         Some(seg)
     }
@@ -136,7 +172,10 @@ impl Voq {
     pub fn has_eligible(&self, active: Option<TdnId>) -> bool {
         match active {
             None => false,
-            Some(a) => self.q.iter().any(|s| s.pin.is_none_or(|p| p == a)),
+            Some(a) => {
+                self.class_len.first().is_some_and(|&n| n > 0)
+                    || self.class_len.get(class_of(Some(a))).is_some_and(|&n| n > 0)
+            }
         }
     }
 

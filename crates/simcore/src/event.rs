@@ -5,29 +5,49 @@
 //! order total: two events scheduled for the same instant are delivered in
 //! the order they were scheduled. This is what makes whole-simulation runs
 //! reproducible bit-for-bit from a seed, which the test suite relies on.
+//!
+//! Layout: heap entries are small fixed-size `{time, seq, slot}` keys;
+//! payloads live in a slab (`Vec<Slot<E>>` plus a free list) addressed by
+//! `slot`. Sift operations therefore move 24-byte keys instead of full
+//! payloads (an `rdcn` event embeds a >100-byte `Segment`), and liveness/
+//! cancellation checks are an array index into the slab rather than hash
+//! lookups — the old implementation maintained two `HashSet<u64>`s and
+//! paid an insert+remove per event. Each heap entry owns exactly one slab
+//! slot, so a slot is recycled only when its entry pops; cancellation
+//! stays lazy (mark the slot, discard the entry when it surfaces) but no
+//! longer allocates.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Opaque handle identifying a scheduled event, usable for cancellation.
+///
+/// The `seq` disambiguates reuse: slots are recycled after an event fires
+/// or its cancelled entry is collected, and a stale id whose slot now
+/// holds a different event fails the seq match instead of cancelling it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
-
-struct Entry<E> {
-    time: SimTime,
+pub struct EventId {
+    slot: u32,
     seq: u64,
-    payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Heap key: 24 bytes regardless of payload size, so sift-up/down during
+/// push/pop moves small fixed entries.
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
         other
@@ -36,23 +56,29 @@ impl<E> Ord for Entry<E> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
+enum Slot<E> {
+    /// On the free list, available for the next `schedule`.
+    Vacant,
+    /// Scheduled and not yet fired or cancelled.
+    Live { seq: u64, payload: E },
+    /// Cancelled while live; freed when its heap entry surfaces.
+    Cancelled,
+}
+
 /// A min-queue of timestamped events with deterministic FIFO tie-breaking
 /// and lazy cancellation.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
     next_seq: u64,
     now: SimTime,
-    /// Seqs scheduled but not yet fired or cancelled. Lets `cancel` answer
-    /// accurately (and without leaking) whether the event was still live.
-    live: std::collections::HashSet<u64>,
-    /// Seqs cancelled while live; their heap entries are discarded on pop.
-    cancelled: std::collections::HashSet<u64>,
     popped: u64,
 }
 
@@ -67,10 +93,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
             popped: 0,
         }
     }
@@ -99,34 +125,60 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.insert(seq);
-        self.heap.push(Entry { time, seq, payload });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(matches!(self.slots[slot as usize], Slot::Vacant));
+                self.slots[slot as usize] = Slot::Live { seq, payload };
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX live events");
+                self.slots.push(Slot::Live { seq, payload });
+                slot
+            }
+        };
+        self.heap.push(Entry { time, seq, slot });
+        EventId { slot, seq }
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event had
     /// not yet fired (or been cancelled). Cancellation is lazy: the entry
     /// stays in the heap and is discarded when popped.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s @ Slot::Live { .. }) => {
+                let live_seq = match s {
+                    Slot::Live { seq, .. } => *seq,
+                    _ => unreachable!(),
+                };
+                if live_seq == id.seq {
+                    *s = Slot::Cancelled;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
         }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            match std::mem::replace(&mut self.slots[entry.slot as usize], Slot::Vacant) {
+                Slot::Cancelled => {
+                    self.free.push(entry.slot);
+                }
+                Slot::Live { seq, payload } => {
+                    debug_assert_eq!(seq, entry.seq, "slot/entry pairing broken");
+                    debug_assert!(entry.time >= self.now, "event queue went backwards");
+                    self.free.push(entry.slot);
+                    self.now = entry.time;
+                    self.popped += 1;
+                    return Some((entry.time, payload));
+                }
+                Slot::Vacant => unreachable!("heap entry pointed at a vacant slot"),
             }
-            debug_assert!(entry.time >= self.now, "event queue went backwards");
-            self.live.remove(&entry.seq);
-            self.now = entry.time;
-            self.popped += 1;
-            return Some((entry.time, entry.payload));
         }
         None
     }
@@ -135,9 +187,10 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain dead entries off the top so the peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = self.heap.pop().expect("peeked entry vanished").seq;
-                self.cancelled.remove(&seq);
+            if matches!(self.slots[entry.slot as usize], Slot::Cancelled) {
+                let entry = self.heap.pop().expect("peeked entry vanished");
+                self.slots[entry.slot as usize] = Slot::Vacant;
+                self.free.push(entry.slot);
             } else {
                 return Some(entry.time);
             }
@@ -238,6 +291,45 @@ mod tests {
             }
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        // A schedule/pop steady state must not grow the slab.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(1), 0u32);
+        let mut pops = 0u32;
+        while let Some((t, k)) = q.pop() {
+            pops += 1;
+            if k < 10_000 {
+                q.schedule(t + SimDuration::from_micros(1), k + 1);
+            }
+        }
+        assert_eq!(pops, 10_001);
+        assert!(q.slots.len() <= 2, "slab grew to {} slots", q.slots.len());
+    }
+
+    #[test]
+    fn stale_id_does_not_cancel_reused_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        q.pop();
+        // "b" reuses a's slot; the stale id must not cancel it.
+        q.schedule(SimTime::from_micros(2), "b");
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_after_collection() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(5), "a");
+        q.cancel(a);
+        assert!(q.is_empty()); // collects the cancelled entry, freeing the slot
+        let b = q.schedule(SimTime::from_micros(6), "b");
+        assert!(!q.cancel(a), "stale id on recycled slot");
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod par;
 pub mod recorder;
 pub mod rng;
 pub mod stats;

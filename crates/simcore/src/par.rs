@@ -1,0 +1,171 @@
+//! Zero-dependency parallel execution of share-nothing simulation runs.
+//!
+//! Simulation runs are independent per `(variant, seed, horizon)`: each
+//! builds its own [`crate::EventQueue`], RNG and endpoints from an
+//! explicit seed and shares no mutable state with any other run. That
+//! makes sharding trivial *and* bit-deterministic: [`par_map`] executes
+//! one closure per item on a scoped worker pool and collects results in
+//! **index order**, so the output vector is byte-identical to a serial
+//! `items.map(f)` no matter how the OS schedules the workers.
+//!
+//! Determinism contract (see DESIGN.md §9):
+//! * every per-run seed is derived *before* sharding (it lives in the
+//!   item, never in thread identity or claim order),
+//! * workers claim items via an atomic cursor but write results into
+//!   their item's slot, so collection order is the submission order,
+//! * `jobs = 1` (or a single item) bypasses the pool entirely — the
+//!   closure runs on the calling thread, which is the debugging path.
+//!
+//! The process-wide default worker count is `available_parallelism()`,
+//! overridable with [`set_default_jobs`] (the `figures` binary wires its
+//! `--jobs N` flag and the `FIGURES_JOBS` environment variable here).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide default worker count; `0` means "auto" (use
+/// [`available`]).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Set the process-wide default worker count used by [`par_map`].
+/// `0` restores "auto" (`available_parallelism()`); `1` forces every
+/// [`par_map`] onto the calling thread (the serial debugging path).
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The resolved default worker count: the last [`set_default_jobs`]
+/// value, or `available_parallelism()` when unset/auto.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => available(),
+        n => n,
+    }
+}
+
+/// Map `f` over `items` on the default worker pool (see
+/// [`default_jobs`]), returning results in item order.
+pub fn par_map<I, T>(items: Vec<I>, f: impl Fn(usize, I) -> T + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    par_map_jobs(default_jobs(), items, f)
+}
+
+/// Map `f` over `items` with at most `jobs` worker threads, returning
+/// `vec![f(0, items[0]), f(1, items[1]), ...]` — index-ordered and
+/// bit-identical to the serial map for any pure `f`.
+///
+/// `jobs <= 1` or fewer than two items runs serially on the calling
+/// thread (no pool, no atomics). A panic in any worker propagates to the
+/// caller once all workers have stopped.
+pub fn par_map_jobs<I, T>(jobs: usize, items: Vec<I>, f: impl Fn(usize, I) -> T + Sync) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = jobs.min(n);
+    // Items are claimed through an atomic cursor (work stealing keeps
+    // long runs from serializing behind one slow shard); each result
+    // lands in its item's slot, so collection below is in index order.
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("item claimed exactly once");
+                let out = f(i, item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every item produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_ordered() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let par = par_map_jobs(jobs, items.clone(), |_, x| x * x + 1);
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items: Vec<usize> = (0..50).collect();
+        let out = par_map_jobs(4, items, |i, item| (i, item));
+        for (i, (idx, item)) in out.into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(i, item);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_jobs(4, empty, |_, x: u32| x).is_empty());
+        assert_eq!(par_map_jobs(4, vec![7u32], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_jobs_round_trip() {
+        let before = default_jobs();
+        assert!(before >= 1);
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert_eq!(default_jobs(), available());
+    }
+
+    #[test]
+    fn non_send_sync_state_in_closure_results() {
+        // Heavier payloads (e.g. RunResult-sized structs) move cleanly.
+        let out = par_map_jobs(2, vec![1u64, 2, 3], |i, x| vec![x; i + 1]);
+        assert_eq!(out, vec![vec![1], vec![2, 2], vec![3, 3, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panic_propagates() {
+        par_map_jobs(2, vec![0u32, 1, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

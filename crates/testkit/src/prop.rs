@@ -466,6 +466,105 @@ pub fn check<T: Debug + Clone + 'static>(
     }
 }
 
+/// Worker-thread count for [`check_sharded`]: `TK_JOBS` env override,
+/// else `available_parallelism()`.
+pub fn default_jobs() -> usize {
+    env_u64("TK_JOBS")
+        .map(|v| (v as usize).max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Parallel [`check`]: shard the case indices across worker threads.
+///
+/// [`Gen`] holds `Rc` internals and cannot cross threads, so each worker
+/// builds its own generator from `make_gen`. Case seeds are identical to
+/// [`check`]'s (derived from the case index, not from which worker runs
+/// it), so a property passes or fails identically under any job count.
+/// Failure handling is deterministic too: workers race only to *find*
+/// failing indices; the lowest one is then re-run serially through the
+/// shrink-persist-panic path, which reports exactly what serial [`check`]
+/// would have reported for that case.
+///
+/// Replayed regression seeds still run serially first — they are few,
+/// and their panics must keep deterministic priority over fresh cases.
+pub fn check_sharded<T: Debug + Clone + 'static>(
+    name: &str,
+    manifest_dir: &str,
+    cfg: Config,
+    jobs: usize,
+    make_gen: impl Fn() -> Gen<T> + Sync,
+    prop: impl Fn(&T) -> Result<(), String> + Sync,
+) {
+    let cases = env_u64("TK_CASES").map(|v| v as u32).unwrap_or(cfg.cases);
+    let base_seed = env_u64("TK_SEED").unwrap_or(cfg.seed);
+    let reg_path = regression_path(manifest_dir, name);
+
+    let gen = make_gen();
+    for seed in load_regression_seeds(&reg_path) {
+        run_case(name, &reg_path, &cfg, &gen, &prop, seed, true);
+    }
+
+    let case_seed = |i: u32| mix_label(base_seed, u64::from(i).wrapping_add(0x51ed_c0de));
+    let workers = jobs.max(1).min(cases.max(1) as usize);
+    let min_fail = if workers <= 1 {
+        let mut first = u64::MAX;
+        for i in 0..cases {
+            let mut rng = TkRng::new(case_seed(i));
+            let value = gen.generate(&mut rng);
+            if prop(&value).is_err() {
+                first = u64::from(i);
+                break;
+            }
+        }
+        first
+    } else {
+        use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+        let cursor = AtomicU32::new(0);
+        let min_fail = AtomicU64::new(u64::MAX);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let gen = make_gen();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        // The cursor is monotone: once an index at or past
+                        // the best failure is claimed, every later claim is
+                        // too, so this worker is finished.
+                        if i >= cases || u64::from(i) >= min_fail.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let mut rng = TkRng::new(case_seed(i));
+                        let value = gen.generate(&mut rng);
+                        if prop(&value).is_err() {
+                            min_fail.fetch_min(u64::from(i), Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        min_fail.into_inner()
+    };
+
+    if min_fail != u64::MAX {
+        // Deterministic failure path: shrink, persist, and panic exactly
+        // like serial `check` at the first failing case index.
+        run_case(
+            name,
+            &reg_path,
+            &cfg,
+            &gen,
+            &prop,
+            case_seed(min_fail as u32),
+            false,
+        );
+        unreachable!("case {min_fail} failed in the sweep but passed on replay");
+    }
+}
+
 fn run_case<T: Debug + Clone + 'static>(
     name: &str,
     reg_path: &PathBuf,

@@ -3,7 +3,7 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak|chaos]
+# Usage: scripts/ci.sh [soak|chaos|bench]
 #   soak  — deepen the property-test search: every testkit `props!`
 #           block runs TK_CASES cases (default 10000) instead of its
 #           built-in count, and the chaos soak runs 5000 scenarios.
@@ -12,6 +12,14 @@
 #           at TK_CASES scenarios (default 200). On a violation the
 #           harness shrinks to a minimal failing plan and prints a
 #           replayable case seed (persisted to tests/tk-regressions/).
+#           TK_JOBS=N shards scenarios across N workers (default:
+#           available_parallelism; results are job-count independent).
+#   bench — run the microbench suites and gate them against the
+#           checked-in baselines at the repo root (BENCH_simulator.json,
+#           BENCH_simulator_e2e.json): any benchmark losing more than
+#           25% events/sec vs its baseline median fails the gate.
+#           After a deliberate perf change, refresh the baselines by
+#           copying the freshly written files over the checked-in ones.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,11 +43,32 @@ if [[ "$MODE" == "chaos" ]]; then
     exit 0
 fi
 
+if [[ "$MODE" == "bench" ]]; then
+    NEW_DIR="$(mktemp -d)"
+    echo "==> cargo bench -p bench --bench simulator (into ${NEW_DIR})"
+    TK_BENCH_DIR="$NEW_DIR" cargo bench --offline -q -p bench --bench simulator
+    echo "==> perf-regression gate (>25% events/sec loss vs checked-in baseline fails)"
+    for f in BENCH_simulator.json BENCH_simulator_e2e.json; do
+        if [[ -f "$f" ]]; then
+            cargo run -q --offline --release -p bench --bin benchgate -- "$f" "$NEW_DIR/$f"
+        else
+            echo "no checked-in baseline $f — seed one with: cp $NEW_DIR/$f ."
+        fi
+    done
+    echo "BENCH OK (refresh baselines after deliberate perf changes:"
+    echo "          cp $NEW_DIR/BENCH_*.json .)"
+    exit 0
+fi
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
 echo "==> chaos soak: ${CHAOS_CASES} randomized scenarios"
 TK_CASES="$CHAOS_CASES" cargo test -q --offline --test chaos chaos_soak
+
+echo "==> figures quick smoke (parallel harness end to end)"
+cargo run -q --offline --release -p bench --bin figures -- quick \
+    --bench-json "$(mktemp)" > /dev/null
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -68,19 +68,39 @@ fn spec_from(raw: &RawSpec) -> ChaosSpec {
     }
 }
 
-testkit::props! {
-    // The soak itself: every random scenario must satisfy the transport
-    // invariant oracle — exactly-once in-order delivery with end-to-end
-    // checksum, byte conservation, no silent stall, stats sanity.
-    #[cases(48)]
-    fn chaos_soak(raw in raw_spec()) {
-        let spec = spec_from(&raw);
-        let res = spec.run();
-        if let Err(e) = check_invariants(&spec, &res) {
-            return Err(format!("{e}\n  spec: {spec:?}"));
-        }
-    }
+/// The soak itself: every random scenario must satisfy the transport
+/// invariant oracle — exactly-once in-order delivery with end-to-end
+/// checksum, byte conservation, no silent stall, stats sanity.
+///
+/// Scenarios are independent (each is a pure function of its case seed),
+/// so the soak shards them across worker threads via
+/// [`testkit::prop::check_sharded`]. Case seeds, shrink behaviour, and
+/// the regression-seed file are identical to the serial `props!` path;
+/// `TK_JOBS=1` forces serial execution for debugging.
+#[test]
+fn chaos_soak() {
+    let cfg = Config {
+        cases: 48,
+        ..Config::default()
+    };
+    testkit::prop::check_sharded(
+        "chaos::chaos_soak",
+        env!("CARGO_MANIFEST_DIR"),
+        cfg,
+        testkit::prop::default_jobs(),
+        raw_spec,
+        |raw| {
+            let spec = spec_from(raw);
+            let res = spec.run();
+            if let Err(e) = check_invariants(&spec, &res) {
+                return Err(format!("{e}\n  spec: {spec:?}"));
+            }
+            Ok(())
+        },
+    );
+}
 
+testkit::props! {
     // Clean subset: with every rate forced to zero the scenario is a
     // plain run — all flows complete without error and the injectors
     // never fire (the inert-plan guarantee end to end).
@@ -122,6 +142,84 @@ testkit::props! {
         tk_assert_eq!(a.impair_log_digest, b.impair_log_digest);
         tk_assert_eq!(a.impairments, b.impairments);
         tk_assert_eq!(a.conn_errors, b.conn_errors);
+    }
+}
+
+/// A property that fails whenever the scenario applies any impairment —
+/// guaranteed to trip within a few dozen random chaos scenarios.
+fn seeded_violation(raw: &RawSpec) -> Result<(), String> {
+    let spec = spec_from(raw);
+    let res = spec.run();
+    check_invariants(&spec, &res)?;
+    if res.impairments.total() > 0 {
+        return Err(format!(
+            "seeded violation: {} impairments applied",
+            res.impairments.total()
+        ));
+    }
+    Ok(())
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload should be a message")
+}
+
+fn case_seed_of(msg: &str) -> &str {
+    let line = msg
+        .lines()
+        .find(|l| l.contains("case seed: 0x"))
+        .expect("no repro seed printed");
+    let hex = &line[line.find("0x").unwrap()..];
+    hex.split_whitespace().next().unwrap()
+}
+
+/// The sharded checker's failure path is bit-compatible with the serial
+/// one: under any job count it reports the same first failing case seed,
+/// the same shrunk input, and persists the same regression seed, because
+/// workers only race to *find* failing indices — the lowest one is then
+/// re-run through the serial shrink path.
+#[test]
+fn chaos_sharded_failure_matches_serial() {
+    let cfg = Config {
+        cases: 50,
+        max_shrink_iters: 150,
+        ..Config::default()
+    };
+    let serial = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        testkit::prop::check(
+            "chaos_sharded_violation_serial",
+            env!("CARGO_TARGET_TMPDIR"),
+            cfg.clone(),
+            &raw_spec(),
+            seeded_violation,
+        );
+    }))
+    .expect_err("the seeded violation must be caught serially");
+    let serial_msg = panic_message(serial);
+
+    for jobs in [1, 4] {
+        let sharded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            testkit::prop::check_sharded(
+                &format!("chaos_sharded_violation_j{jobs}"),
+                env!("CARGO_TARGET_TMPDIR"),
+                cfg.clone(),
+                jobs,
+                raw_spec,
+                seeded_violation,
+            );
+        }))
+        .expect_err("the seeded violation must be caught sharded");
+        let msg = panic_message(sharded);
+        assert_eq!(
+            case_seed_of(&msg),
+            case_seed_of(&serial_msg),
+            "jobs={jobs} reported a different failing case than serial"
+        );
+        assert!(msg.contains("minimal input"), "no shrunk input: {msg}");
     }
 }
 

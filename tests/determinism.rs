@@ -44,6 +44,29 @@ fn emulator_run_is_deterministic() {
     }
 }
 
+/// Sharded experiment runs are bit-identical to serial ones: mapping the
+/// same (variant, seed) grid through `simcore::par::par_map` under any
+/// job count reproduces exactly the digests of a plain serial loop. This
+/// is the contract the parallel figures harness rests on — run seeds
+/// live in the sharded items and results collect in submission order, so
+/// worker scheduling can never leak into outputs.
+#[test]
+fn parallel_sweep_matches_serial_digests() {
+    let grid: Vec<(Variant, u64)> = [Variant::Tdtcp, Variant::Cubic, Variant::ReTcp]
+        .into_iter()
+        .flat_map(|v| (0u64..8).map(move |seed| (v, seed)))
+        .collect();
+    let serial: Vec<u64> = grid.iter().map(|&(v, s)| run_once(v, s)).collect();
+    for jobs in [1, 2, 4] {
+        let sharded =
+            simcore::par::par_map_jobs(jobs, grid.clone(), |_, (v, s)| run_once(v, s));
+        assert_eq!(
+            sharded, serial,
+            "sharded digests diverged from serial at jobs={jobs}"
+        );
+    }
+}
+
 /// The digest actually has discriminating power: different seeds (which
 /// perturb flow start jitter and the notification model) or different
 /// variants must not collide on these workloads.
