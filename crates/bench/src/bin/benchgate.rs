@@ -16,6 +16,7 @@
 //! `scripts/ci.sh bench` wires this against the checked-in
 //! `BENCH_simulator.json` at the repo root; exit status 1 on any
 //! regression makes it a hard gate.
+#![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;

@@ -20,6 +20,7 @@
 //! Every experiment's sweep-style runs shard across worker threads via
 //! `simcore::par`; outputs are bit-identical to `--jobs 1` because run
 //! seeds live in the sharded items and results collect in index order.
+#![forbid(unsafe_code)]
 
 use bench::experiments::*;
 use simcore::SimTime;
@@ -102,7 +103,7 @@ fn main() {
     if let Some(pos) = wanted.iter().position(|w| w == "quick") {
         horizon = SimTime::from_millis(25);
         wanted.splice(pos..=pos, ["table1", "fig10", "fig11"].map(String::from));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         wanted.retain(|w| seen.insert(w.clone()));
     }
     if wanted.iter().any(|w| w == "all") {
@@ -127,6 +128,7 @@ fn main() {
     let mut timings = Vec::new();
     for w in &wanted {
         let ev0 = rdcn::EVENTS_TOTAL.load(Ordering::Relaxed);
+        // detlint: allow(wall_clock) — per-experiment wall timing for BENCH_figures.json only
         let t0 = std::time::Instant::now();
         match w.as_str() {
             "table1" => table1::run(horizon, warmup).print(),

@@ -1,5 +1,6 @@
 //! Diagnostic probe: per-day goodput and drop behaviour for one variant.
 //! Not part of the evaluation harness; used to calibrate dynamics.
+#![forbid(unsafe_code)]
 
 use bench::Variant;
 use rdcn::{Emulator, NetConfig};

@@ -44,6 +44,8 @@ pub struct NotifyBench {
 
 /// Sample `n` draws of each component with each optimization toggled.
 pub fn run(n: usize, flows: usize) -> NotifyBench {
+    // detlint: allow(ambient_rng) — standalone notification-model study with its own pinned
+    // seed (no NetConfig to fork from); changing the stream would move the published table
     let mut rng = DetRng::new(7);
     let mut sample =
         |cfg: NotifyConfig, pick: &dyn Fn(&rdcn::NotifySample) -> u64, idx: usize| -> (f64, f64) {

@@ -40,6 +40,8 @@ pub fn short_flows(
     let mut net = NetConfig::paper_baseline();
     variant.apply_net_config(&mut net);
     // Poisson arrivals.
+    // detlint: allow(ambient_rng) — pre-detlint xor-derived arrival stream; rewriting it as
+    // fork(LABEL) would change every published short-flow figure for no behavioural gain
     let mut rng = DetRng::new(net.seed ^ 0x5f5f);
     let mut specs = Vec::new();
     for _ in 0..background {

@@ -7,6 +7,7 @@
 //! line; Criterion benches measure component performance (codecs, event
 //! queue, end-to-end simulation rate, notification path).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chaos;

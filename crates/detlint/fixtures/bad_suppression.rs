@@ -1,0 +1,8 @@
+// Fixture: a directive without a reason still suppresses its target but
+// is itself reported as bad_suppression, so the gate fails anyway.
+
+fn reasonless() {
+    // detlint: allow(unordered_iter)
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let _ = m.len();
+}

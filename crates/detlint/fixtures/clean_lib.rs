@@ -1,0 +1,8 @@
+//! Fixture: a perfectly clean crate root — no findings at all.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic work only.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

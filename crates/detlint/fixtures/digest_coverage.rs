@@ -1,0 +1,38 @@
+// Fixture: digest_coverage — `late_adds` is a pub u64 counter on a
+// struct with a same-file write_digest, but the fold never names it.
+// This is exactly the counter-omission bug class PRs 2–3 fixed by hand.
+
+pub struct DemoStats {
+    /// Folded: fine.
+    pub events_in: u64,
+    /// Folded: fine.
+    pub events_out: u64,
+    /// NOT folded: must be reported.
+    pub late_adds: u64,
+    /// Not a counter (not u64): ignored by the rule.
+    pub label: String,
+}
+
+impl DemoStats {
+    pub fn write_digest(&self, d: &mut Digest) {
+        d.write_u64(self.events_in);
+        d.write_u64(self.events_out);
+    }
+}
+
+pub struct NoDigestStats {
+    // No write_digest impl in this file: the rule stays quiet.
+    pub whatever: u64,
+}
+
+pub struct SuppressedStats {
+    pub counted: u64,
+    // detlint: allow(digest_coverage) — fixture: transient scratch value, not run state
+    pub scratch: u64,
+}
+
+impl SuppressedStats {
+    pub fn write_digest(&self, d: &mut Digest) {
+        d.write_u64(self.counted);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: unordered_iter fires on HashMap/HashSet and is suppressible.
+// This file lives under fixtures/ and is NEVER scanned by a workspace
+// run — it exists to be fed to the engine by the fixture tests.
+
+use std::collections::HashMap;
+
+fn digesty() -> u64 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len() as u64
+}
+
+fn annotated() -> bool {
+    // detlint: allow(unordered_iter) — fixture: membership-only, order never observed
+    let s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    s.is_empty()
+}
+
+// A comment mentioning HashMap must not fire, nor must "HashMap" here:
+const NAME: &str = "HashMap";

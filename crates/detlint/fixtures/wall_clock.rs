@@ -1,0 +1,22 @@
+// Fixture: wall_clock fires on Instant::now / SystemTime, suppressible.
+
+use std::time::Instant;
+
+fn bad() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn bad_systemtime() {
+    let _ = std::time::SystemTime::UNIX_EPOCH;
+}
+
+fn annotated() -> u64 {
+    let t = Instant::now(); // detlint: allow(wall_clock) — fixture: measurement site
+    t.elapsed().as_nanos() as u64
+}
+
+fn not_a_call() {
+    // `Instant` without `::now` is fine (e.g. a type annotation).
+    let _x: Option<Instant> = None;
+}

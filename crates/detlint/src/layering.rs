@@ -1,0 +1,173 @@
+//! Crate-layering rule: the workspace dependency DAG, machine-checked.
+//!
+//! The layering mirrors the stack the paper separates by construction
+//! (NoCC-style separation of concerns): byte formats at the bottom, the
+//! deterministic kernel above them, transports above that, the network
+//! substrate above transports, and the experiment harness on top.
+//!
+//! ```text
+//! testkit            (leaf: test infrastructure, no deps)
+//! wire               (leaf: byte formats)
+//! simcore  -> testkit
+//! tcp      -> simcore, wire, testkit
+//! tdtcp    -> simcore, wire, tcp            (core/)
+//! mptcp    -> simcore, wire, tcp
+//! rdcn     -> simcore, wire, tcp, testkit
+//! bench    -> everything below it
+//! detlint            (leaf: must stay outside the stack it polices)
+//! ```
+//!
+//! Transports (`tcp`/`tdtcp`/`mptcp`) must never see the network
+//! substrate (`rdcn`) or the harness (`bench`); nothing may depend on
+//! `bench` or `detlint`. Any dependency not in the workspace at all is
+//! a registry dependency and violates the PR-1 offline-build guarantee.
+//! Dev-dependencies are looser (tests may look up the stack — e.g.
+//! `tdtcp` dev-depends on `rdcn` to drive an emulator), but the two
+//! top-of-stack crates stay unreachable even there.
+
+use crate::report::{Finding, RuleId};
+use crate::suppress;
+
+/// Allowed `[dependencies]` per workspace package (package name, not
+/// directory name: `crates/core` is the `tdtcp` package).
+const LAYERS: &[(&str, &[&str])] = &[
+    ("testkit", &[]),
+    ("wire", &[]),
+    ("simcore", &["testkit"]),
+    ("tcp", &["simcore", "wire", "testkit"]),
+    ("tdtcp", &["simcore", "wire", "tcp"]),
+    ("mptcp", &["simcore", "wire", "tcp"]),
+    ("rdcn", &["simcore", "wire", "tcp", "testkit"]),
+    (
+        "bench",
+        &["simcore", "wire", "rdcn", "tcp", "tdtcp", "mptcp", "testkit"],
+    ),
+    ("detlint", &[]),
+    // The workspace-root package: examples + integration tests over the
+    // whole stack.
+    (
+        "tdtcp-repro",
+        &["simcore", "wire", "rdcn", "tcp", "tdtcp", "mptcp", "testkit", "bench"],
+    ),
+];
+
+/// May `package` depend on `dep` at all (normal or dev)? `detlint`
+/// must stay outside the stack it polices; `bench` is top-of-stack for
+/// every crate except the workspace-root package that re-exports it.
+fn never_depended_on(package: &str, dep: &str) -> bool {
+    dep == "detlint" || (dep == "bench" && package != "tdtcp-repro")
+}
+
+/// Check one `Cargo.toml`. Returns (unsuppressed findings, suppressed
+/// count); `# detlint: allow(layer_deps) — reason` works on the
+/// offending dependency line like any other directive.
+pub fn check_manifest(rel_path: &str, contents: &str) -> (Vec<Finding>, usize) {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    let mut package: Option<String> = None;
+
+    // First pass: the package name.
+    for line in contents.lines() {
+        let t = line.trim();
+        if t.starts_with('[') {
+            section = t.to_string();
+        } else if section == "[package]" {
+            if let Some(rest) = t.strip_prefix("name") {
+                let rest = rest.trim_start().trim_start_matches('=').trim();
+                package = Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    let Some(package) = package else {
+        // A virtual manifest (workspace-only) declares no package and
+        // has no dependency sections of its own to check.
+        return (findings, 0);
+    };
+    let allowed: Option<&[&str]> = LAYERS
+        .iter()
+        .find(|(name, _)| *name == package)
+        .map(|(_, deps)| *deps);
+    let workspace_names: Vec<&str> = LAYERS.iter().map(|(n, _)| *n).collect();
+
+    // Second pass: dependency sections. Only exact `[dependencies]` /
+    // `[dev-dependencies]` count — `[workspace.dependencies]` is the
+    // shared version table, not an edge in the graph.
+    section.clear();
+    for (idx, line) in contents.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let t = line.trim();
+        if t.starts_with('[') {
+            section = t.to_string();
+            continue;
+        }
+        let dev = section == "[dev-dependencies]";
+        if !(dev || section == "[dependencies]") {
+            continue;
+        }
+        let Some(dep) = dep_name(t) else { continue };
+        if !workspace_names.contains(&dep.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::LayerDeps,
+                file: rel_path.to_string(),
+                line: lineno,
+                message: format!(
+                    "`{package}` pulls registry dependency `{dep}`; the workspace builds \
+                     offline against an empty registry — stub or gate instead"
+                ),
+            });
+            continue;
+        }
+        if never_depended_on(&package, &dep) {
+            findings.push(Finding {
+                rule: RuleId::LayerDeps,
+                file: rel_path.to_string(),
+                line: lineno,
+                message: format!(
+                    "`{package}` depends on `{dep}`, which sits at the top of the stack and \
+                     must not be depended on"
+                ),
+            });
+            continue;
+        }
+        if !dev {
+            if let Some(allowed) = allowed {
+                if !allowed.contains(&dep.as_str()) {
+                    findings.push(Finding {
+                        rule: RuleId::LayerDeps,
+                        file: rel_path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{package}` -> `{dep}` violates the crate layering DAG \
+                             (allowed: {})",
+                            if allowed.is_empty() {
+                                "none — leaf crate".to_string()
+                            } else {
+                                allowed.join(", ")
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    let directives = suppress::parse(contents);
+    suppress::apply(rel_path, &directives, findings)
+}
+
+/// Parse the dependency name from a manifest line like
+/// `foo.workspace = true`, `foo = { path = "…" }`, or `foo = "1.0"`.
+fn dep_name(line: &str) -> Option<String> {
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let key = line.split('=').next()?.trim();
+    if key.is_empty() {
+        return None;
+    }
+    let name = key.split('.').next()?.trim();
+    let valid = name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    (valid && !name.is_empty()).then(|| name.to_string())
+}

@@ -1,0 +1,342 @@
+//! A small Rust lexer: just enough of the language to tokenize real
+//! source reliably — line/block comments (nested), string literals with
+//! escapes, raw and byte strings with arbitrary `#` guards, raw
+//! identifiers, and the `'a`-lifetime vs `'x'`-char-literal ambiguity.
+//!
+//! The rule engine works on the identifier/punctuation stream this
+//! produces, so anything inside a comment or string literal can never
+//! trigger (or suppress) a finding at the token level. Suppression
+//! directives are deliberately parsed from raw lines instead (see
+//! [`crate::suppress`]): they live *in* comments.
+
+/// What a token is. Literal payloads are dropped except where a rule
+/// needs them (identifier names, integer literal text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword, including raw identifiers (`r#type` yields
+    /// `type`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'_` (name without the quote).
+    Lifetime(String),
+    /// A character or byte literal (`'x'`, `'\n'`, `b'x'`).
+    CharLit,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    StrLit,
+    /// An integer-ish literal (`7`, `0x5f5f`, `1_000u64`). Float parts
+    /// lex as separate pieces; the rules only care that a numeric
+    /// literal is present at all.
+    IntLit(String),
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input degrades to
+/// punctuation tokens rather than an error, which is the right posture
+/// for a linter that must keep scanning the rest of the file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let c = b[i];
+        // Newlines and other whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            let start = line;
+            i = skip_cooked_string(&b, i + 1, &mut line);
+            out.push(Token { kind: Tok::StrLit, line: start });
+            continue;
+        }
+        // r / b / br prefixes: raw strings, byte strings, byte chars,
+        // raw identifiers — or just an identifier that starts with r/b.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next)) = lex_prefixed(&b, i, &mut line) {
+                let start_line = tok.1;
+                out.push(Token { kind: tok.0, line: start_line });
+                i = next;
+                continue;
+            }
+            // Fall through to identifier handling.
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let start = line;
+            match classify_quote(&b, i) {
+                Quote::Char(next) => {
+                    // A char literal can contain a newline escape but not a
+                    // raw newline; no line tracking needed inside.
+                    out.push(Token { kind: Tok::CharLit, line: start });
+                    i = next;
+                }
+                Quote::Lifetime(len) => {
+                    let name: String = b[i + 1..i + 1 + len].iter().collect();
+                    out.push(Token { kind: Tok::Lifetime(name), line: start });
+                    i += 1 + len;
+                }
+                Quote::Lone => {
+                    out.push(Token { kind: Tok::Punct('\''), line: start });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            let name: String = b[start..i].iter().collect();
+            out.push(Token { kind: Tok::Ident(name), line });
+            continue;
+        }
+        // Numeric literal: digits plus alphanumeric suffix/base chars
+        // (0x5f5f, 1_000u64). Dots are left as punctuation; the rules
+        // only need "a numeric literal occurs here".
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            out.push(Token { kind: Tok::IntLit(text), line });
+            continue;
+        }
+        out.push(Token { kind: Tok::Punct(c), line });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a cooked (escapable) string body starting just after the opening
+/// quote; returns the index just past the closing quote.
+fn skip_cooked_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                // Skip the escaped character — which can itself be a
+                // newline (string line-continuation).
+                if b.get(i + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Try to lex an `r`/`b`/`br`-prefixed literal or raw identifier at `i`.
+/// Returns `Some(((kind, start_line), next_index))`, or `None` when the
+/// prefix is just the start of an ordinary identifier (`radius`, `bytes`).
+#[allow(clippy::type_complexity)]
+fn lex_prefixed(b: &[char], i: usize, line: &mut u32) -> Option<((Tok, u32), usize)> {
+    let start_line = *line;
+    // b'x' — byte char literal. Never a lifetime.
+    if b[i] == 'b' && b.get(i + 1) == Some(&'\'') {
+        let mut j = i + 2;
+        if b.get(j) == Some(&'\\') {
+            j += 2;
+        } else {
+            j += 1;
+        }
+        while j < b.len() && b[j] != '\'' {
+            j += 1;
+        }
+        return Some(((Tok::CharLit, start_line), (j + 1).min(b.len())));
+    }
+    // b"…" — byte string with escapes.
+    if b[i] == 'b' && b.get(i + 1) == Some(&'"') {
+        let next = skip_cooked_string(b, i + 2, line);
+        return Some(((Tok::StrLit, start_line), next));
+    }
+    // r#ident — raw identifier (exactly one '#', then ident start).
+    if b[i] == 'r'
+        && b.get(i + 1) == Some(&'#')
+        && b.get(i + 2).is_some_and(|&c| is_ident_start(c))
+    {
+        let mut j = i + 2;
+        while j < b.len() && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        let name: String = b[i + 2..j].iter().collect();
+        return Some(((Tok::Ident(name), start_line), j));
+    }
+    // r"…", r#"…"#, br"…", br#"…"#, with any number of '#' guards.
+    let hash_start = match (b[i], b.get(i + 1)) {
+        ('r', _) => i + 1,
+        ('b', Some(&'r')) => i + 2,
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while b.get(hash_start + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if b.get(hash_start + hashes) != Some(&'"') {
+        return None; // not a raw string after all — plain identifier
+    }
+    let mut j = hash_start + hashes + 1;
+    // Scan for `"` followed by exactly `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if b[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(((Tok::StrLit, start_line), j + 1 + hashes));
+            }
+        }
+        j += 1;
+    }
+    Some(((Tok::StrLit, start_line), j))
+}
+
+enum Quote {
+    /// Char literal; payload is the index just past the closing quote.
+    Char(usize),
+    /// Lifetime; payload is the name length (after the quote).
+    Lifetime(usize),
+    /// A stray quote (macro land); treat as punctuation.
+    Lone,
+}
+
+/// Disambiguate `'` at index `i`: `'x'` / `'\n'` are char literals,
+/// `'a` / `'_` (not followed by a closing quote) are lifetimes.
+fn classify_quote(b: &[char], i: usize) -> Quote {
+    match b.get(i + 1) {
+        // Escape sequence: always a char literal. Scan to the closing
+        // quote (handles '\u{1F600}' and friends).
+        Some(&'\\') => {
+            let mut j = i + 3; // skip quote, backslash, escaped char
+            while j < b.len() && b[j] != '\'' {
+                j += 1;
+            }
+            Quote::Char((j + 1).min(b.len()))
+        }
+        Some(&c) if is_ident_start(c) || c.is_ascii_digit() => {
+            // 'x' — a char literal iff the very next char closes it.
+            if b.get(i + 2) == Some(&'\'') {
+                Quote::Char(i + 3)
+            } else if is_ident_start(c) {
+                let mut len = 1usize;
+                while b
+                    .get(i + 1 + len)
+                    .is_some_and(|&c| is_ident_continue(c))
+                {
+                    len += 1;
+                }
+                Quote::Lifetime(len)
+            } else {
+                Quote::Lone
+            }
+        }
+        // Non-identifier char literal like '(' or '"'.
+        Some(_) if b.get(i + 2) == Some(&'\'') => Quote::Char(i + 3),
+        _ => Quote::Lone,
+    }
+}
+
+/// Convenience: the identifier text if this token is an identifier.
+pub fn ident(tok: &Token) -> Option<&str> {
+    match &tok.kind {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<(String, u32)> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_hide_identifiers() {
+        let ids = idents("// HashMap\n/* HashSet */ real");
+        assert_eq!(ids, vec![("real".to_string(), 2)]);
+    }
+
+    #[test]
+    fn strings_hide_identifiers_and_track_lines() {
+        let ids = idents("let s = \"HashMap\nSystemTime\"; after");
+        let names: Vec<&str> = ids.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(names, vec!["let", "s", "after"]);
+        // `after` is on line 2 because the string spans a newline.
+        assert_eq!(ids.last().unwrap().1, 2);
+    }
+}

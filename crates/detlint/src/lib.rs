@@ -1,0 +1,87 @@
+//! # detlint — determinism & layering static analysis
+//!
+//! Every claim this reproduction makes rests on determinism *by
+//! construction*: the golden-digest suite can only observe a violation
+//! after the fact, and one `HashMap` iteration feeding a digest or one
+//! stray wall-clock read silently breaks the parallel-vs-serial
+//! bit-identical guarantee. detlint makes those rules machine-checked
+//! at the source level, with zero dependencies (no `syn`, no registry
+//! crates — the linter that polices the offline-build guarantee must
+//! not break it).
+//!
+//! See `DESIGN.md` §10 for the rule set and suppression syntax; run it
+//! via `scripts/ci.sh lint` or `cargo run -p detlint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layering;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod suppress;
+
+pub use report::{Finding, Report, RuleId};
+
+use std::path::{Path, PathBuf};
+
+/// Check one Rust source file (already read into memory). Returns
+/// (unsuppressed findings, suppressed count). Public so fixture tests
+/// can drive single files without a workspace on disk.
+pub fn check_rust_source(rel_path: &str, src: &str) -> (Vec<Finding>, usize) {
+    let tokens = lexer::lex(src);
+    let ctx = rules::FileCtx {
+        rel_path: rel_path.to_string(),
+    };
+    let findings = rules::check_file(&ctx, &tokens);
+    let directives = suppress::parse(src);
+    let (mut findings, suppressed) = suppress::apply(rel_path, &directives, findings);
+    findings.sort_by_key(|f| (f.line, f.rule));
+    (findings, suppressed)
+}
+
+/// Scan a whole workspace rooted at `root`: every `.rs` file and every
+/// `Cargo.toml`, skipping `target/`, VCS metadata, and detlint's own
+/// rule fixtures (which exist to contain violations).
+pub fn run(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_files(root, root, &mut files)?;
+    files.sort(); // deterministic report order regardless of readdir order
+
+    let mut report = Report::default();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let (findings, suppressed) = if rel_str.ends_with("Cargo.toml") {
+            layering::check_manifest(&rel_str, &src)
+        } else {
+            check_rust_source(&rel_str, &src)
+        };
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}
+
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "tk-regressions"];
+
+fn collect_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_files(root, &path, out)?;
+            }
+        } else if name.ends_with(".rs") || name == "Cargo.toml" {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Findings, rule identifiers, and the human/JSON reports.
+
+use std::fmt;
+
+/// Every rule detlint knows. The `id()` string is both the report label
+/// and the name used in `detlint: allow(...)` directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in digest-adjacent code: iteration order is
+    /// nondeterministic across runs/platforms.
+    UnorderedIter,
+    /// `Instant::now` / `SystemTime` outside annotated measurement sites.
+    WallClock,
+    /// Randomness not derived from a config seed / forked stream.
+    AmbientRng,
+    /// A crate depends on something its layer must not see.
+    LayerDeps,
+    /// A pub counter missing from its struct's `write_digest` fold.
+    DigestCoverage,
+    /// Crate root missing `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// A `detlint: allow` directive without a written reason.
+    BadSuppression,
+}
+
+impl RuleId {
+    /// Canonical rule id — the name accepted by `allow(...)`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            RuleId::UnorderedIter => "unordered_iter",
+            RuleId::WallClock => "wall_clock",
+            RuleId::AmbientRng => "ambient_rng",
+            RuleId::LayerDeps => "layer_deps",
+            RuleId::DigestCoverage => "digest_coverage",
+            RuleId::ForbidUnsafe => "forbid_unsafe",
+            RuleId::BadSuppression => "bad_suppression",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One finding: a rule violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// The result of a full workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `detlint: allow` directives.
+    pub suppressed: usize,
+    /// Number of files scanned (`.rs` + `Cargo.toml`).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sort findings into the canonical deterministic order.
+    pub fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
+    /// True when the gate should fail.
+    pub fn has_findings(&self) -> bool {
+        !self.findings.is_empty()
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file,
+                f.line,
+                f.rule.id(),
+                f.message
+            ));
+        }
+        out.push_str(&format!(
+            "detlint: {} finding{} ({} suppressed) across {} files\n",
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressed,
+            self.files_scanned,
+        ));
+        out
+    }
+
+    /// Render the machine-readable report, mirroring the `BENCH_*.json`
+    /// hand-rolled-JSON pattern (no serde; see the zero-dependency note
+    /// in the crate manifest).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"detlint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                if i + 1 == self.findings.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut r = Report {
+            findings: vec![Finding {
+                rule: RuleId::WallClock,
+                file: "a \"b\".rs".into(),
+                line: 3,
+                message: "tab\there".into(),
+            }],
+            suppressed: 2,
+            files_scanned: 5,
+        };
+        r.sort();
+        let j = r.to_json();
+        assert!(j.contains("\"tool\": \"detlint\""));
+        assert!(j.contains("\"a \\\"b\\\".rs\""));
+        assert!(j.contains("tab\\there"));
+        assert!(j.contains("\"suppressed\": 2"));
+    }
+}

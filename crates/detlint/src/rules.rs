@@ -1,0 +1,367 @@
+//! The rule engine: token-stream rules over a single Rust source file.
+//!
+//! Rules implemented here (Cargo.toml layering lives in
+//! [`crate::layering`]):
+//!
+//! * `unordered_iter` — no `HashMap`/`HashSet` in the workspace. Their
+//!   iteration order is seeded per-process, so one stray iteration
+//!   feeding a digest, a trace, or a test expectation silently breaks
+//!   the bit-identical guarantee. Use `BTreeMap`/`BTreeSet` or keyed
+//!   access; membership-only uses may be annotated.
+//! * `wall_clock` — no `Instant::now` / `SystemTime` outside annotated
+//!   measurement sites. Simulated time drives the simulator; wall time
+//!   is only legitimate for perf reporting.
+//! * `ambient_rng` — randomness must flow from `DetRng`/`TkRng` streams
+//!   seeded by run config and forked with labels. Thread-local entropy
+//!   is banned outright, and `DetRng::new`/`TkRng::new` with a numeric
+//!   literal in the seed expression (ad-hoc seeding) is flagged outside
+//!   test code.
+//! * `forbid_unsafe` — every crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//! * `digest_coverage` — for any struct with pub `u64` counters and a
+//!   same-file `write_digest` method, every counter must appear in the
+//!   fold. This is the counter-omission bug class PRs 2–3 fixed by
+//!   hand when new stats fields landed without a digest update.
+
+use crate::lexer::{ident, Tok, Token};
+use crate::report::{Finding, RuleId};
+
+/// Facts about the file being checked that the rules need.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path (used in findings and path-based scoping).
+    pub rel_path: String,
+}
+
+impl FileCtx {
+    /// Test-ish code by path: integration tests, benches, examples.
+    fn is_test_path(&self) -> bool {
+        let p = &self.rel_path;
+        p.contains("/tests/") || p.contains("/benches/") || p.starts_with("examples/")
+    }
+
+    /// A crate-root file that must carry `#![forbid(unsafe_code)]`.
+    fn is_crate_root(&self) -> bool {
+        let p = &self.rel_path;
+        p.ends_with("src/lib.rs") || p.ends_with("src/main.rs") || {
+            // Each file under src/bin/ is its own crate root.
+            p.contains("src/bin/") && p.ends_with(".rs")
+        }
+    }
+}
+
+/// Run every source rule over one tokenized file.
+pub fn check_file(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // Everything lexically after the first `#[cfg(test)]` is treated as
+    // test code (unit-test modules sit at the end of a file by
+    // convention in this workspace).
+    let cfg_test_line = find_cfg_test(tokens);
+    let in_test = |line: u32| {
+        ctx.is_test_path() || cfg_test_line.is_some_and(|l| line >= l)
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        match ident(t) {
+            Some("HashMap") | Some("HashSet") => findings.push(Finding {
+                rule: RuleId::UnorderedIter,
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "{} iteration order is nondeterministic; use BTreeMap/BTreeSet or keyed \
+                     access (annotate membership-only uses)",
+                    ident(t).unwrap()
+                ),
+            }),
+            Some("SystemTime") => findings.push(Finding {
+                rule: RuleId::WallClock,
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: "SystemTime reads wall clock; simulated time must drive all behaviour"
+                    .into(),
+            }),
+            Some("Instant") if is_path_call(tokens, i, "now") => findings.push(Finding {
+                rule: RuleId::WallClock,
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: "Instant::now reads wall clock; only annotated measurement sites may"
+                    .into(),
+            }),
+            Some(name @ ("thread_rng" | "from_entropy" | "OsRng" | "StdRng" | "SmallRng"
+            | "ThreadRng")) => findings.push(Finding {
+                rule: RuleId::AmbientRng,
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{name}` draws ambient entropy; all randomness must come from a \
+                     config-seeded DetRng/TkRng stream"
+                ),
+            }),
+            Some("DetRng") | Some("TkRng")
+                if !in_test(t.line) && literal_seed_arg(tokens, i) =>
+            {
+                findings.push(Finding {
+                    rule: RuleId::AmbientRng,
+                    file: ctx.rel_path.clone(),
+                    line: t.line,
+                    message: "ad-hoc RNG seeding (numeric literal in the seed expression); \
+                              derive streams from the run seed via fork(LABEL) instead"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    if ctx.is_crate_root() && !has_forbid_unsafe(tokens) {
+        findings.push(Finding {
+            rule: RuleId::ForbidUnsafe,
+            file: ctx.rel_path.clone(),
+            line: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".into(),
+        });
+    }
+
+    findings.extend(digest_coverage(ctx, tokens));
+    findings
+}
+
+/// Line of the first `#[cfg(test)]` attribute, if any.
+fn find_cfg_test(tokens: &[Token]) -> Option<u32> {
+    tokens.windows(5).find_map(|w| {
+        let shape = matches!(w[0].kind, Tok::Punct('#'))
+            && matches!(w[1].kind, Tok::Punct('['))
+            && ident(&w[2]) == Some("cfg")
+            && matches!(w[3].kind, Tok::Punct('('))
+            && ident(&w[4]) == Some("test");
+        shape.then_some(w[0].line)
+    })
+}
+
+/// Does `tokens[i]` start the path call `<ident>::<method>`?
+fn is_path_call(tokens: &[Token], i: usize, method: &str) -> bool {
+    matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+        && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+        && tokens.get(i + 3).and_then(ident) == Some(method)
+}
+
+/// For `DetRng`/`TkRng` at `i`: is this `::new(...)` with a numeric
+/// literal anywhere in the (balanced) argument expression?
+fn literal_seed_arg(tokens: &[Token], i: usize) -> bool {
+    if !is_path_call(tokens, i, "new") {
+        return false;
+    }
+    let Some(open) = tokens.get(i + 4) else {
+        return false;
+    };
+    if !matches!(open.kind, Tok::Punct('(')) {
+        return false;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 5;
+    while j < tokens.len() && depth > 0 {
+        match tokens[j].kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::IntLit(_) => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Is `#![forbid(unsafe_code)]` present anywhere in the token stream?
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    tokens.iter().enumerate().any(|(i, t)| {
+        ident(t) == Some("forbid")
+            && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('(')))
+            && tokens.get(i + 2).and_then(ident) == Some("unsafe_code")
+    })
+}
+
+/// digest_coverage: collect `pub struct X { pub field: u64, … }` and the
+/// identifiers mentioned inside `impl X { … fn write_digest … }`; report
+/// any counter the fold never names.
+fn digest_coverage(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
+    let structs = collect_counter_structs(tokens);
+    if structs.is_empty() {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for s in &structs {
+        let Some(body_idents) = write_digest_idents(tokens, &s.name) else {
+            continue; // no write_digest for this struct in this file
+        };
+        for (field, line) in &s.counters {
+            if !body_idents.iter().any(|id| id == field) {
+                findings.push(Finding {
+                    rule: RuleId::DigestCoverage,
+                    file: ctx.rel_path.clone(),
+                    line: *line,
+                    message: format!(
+                        "pub counter `{}` is not folded into {}::write_digest; digests would \
+                         miss changes to it",
+                        field, s.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+struct CounterStruct {
+    name: String,
+    /// (field name, declaration line) for every `pub …: u64` field.
+    counters: Vec<(String, u32)>,
+}
+
+fn collect_counter_structs(tokens: &[Token]) -> Vec<CounterStruct> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // pub struct Name {
+        if ident(&tokens[i]) == Some("pub")
+            && tokens.get(i + 1).and_then(ident) == Some("struct")
+        {
+            if let Some(name_tok) = tokens.get(i + 2) {
+                if let Tok::Ident(name) = &name_tok.kind {
+                    // Skip to the opening brace (tolerates generics,
+                    // where-clauses; tuple structs hit `(` or `;` first
+                    // and are skipped).
+                    let mut j = i + 3;
+                    let mut found_brace = false;
+                    while j < tokens.len() {
+                        match tokens[j].kind {
+                            Tok::Punct('{') => {
+                                found_brace = true;
+                                break;
+                            }
+                            Tok::Punct(';') | Tok::Punct('(') => break,
+                            _ => j += 1,
+                        }
+                    }
+                    if found_brace {
+                        let (counters, end) = collect_fields(tokens, j + 1);
+                        if !counters.is_empty() {
+                            out.push(CounterStruct {
+                                name: name.clone(),
+                                counters,
+                            });
+                        }
+                        i = end;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// From just inside a struct body, collect `pub name: u64` fields until
+/// the matching close brace. Returns (fields, index past the brace).
+fn collect_fields(tokens: &[Token], mut i: usize) -> (Vec<(String, u32)>, usize) {
+    let mut fields = Vec::new();
+    let mut depth = 1usize;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Ident(kw) if kw == "pub" && depth == 1 => {
+                // pub name : u64 [,}]
+                if let (Some(name_t), Some(colon), Some(ty)) =
+                    (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+                {
+                    if let Tok::Ident(name) = &name_t.kind {
+                        let term_ok = matches!(
+                            tokens.get(i + 4).map(|t| &t.kind),
+                            Some(Tok::Punct(',')) | Some(Tok::Punct('}')) | None
+                        );
+                        if matches!(colon.kind, Tok::Punct(':'))
+                            && ident(ty) == Some("u64")
+                            && term_ok
+                        {
+                            fields.push((name.clone(), name_t.line));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (fields, i)
+}
+
+/// Identifiers inside `fn write_digest`'s body within `impl <name>`.
+fn write_digest_idents(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if ident(&tokens[i]) == Some("impl") {
+            // Skip impl generics: impl<'a> Name<'a> { … }
+            let mut j = i + 1;
+            if matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+                let mut angle = 1usize;
+                j += 1;
+                while j < tokens.len() && angle > 0 {
+                    match tokens[j].kind {
+                        Tok::Punct('<') => angle += 1,
+                        Tok::Punct('>') => angle -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            if tokens.get(j).and_then(ident) == Some(name) {
+                // Find the impl body, then look for fn write_digest at
+                // any depth inside it.
+                while j < tokens.len() && !matches!(tokens[j].kind, Tok::Punct('{')) {
+                    j += 1;
+                }
+                let mut depth = 1usize;
+                j += 1;
+                while j < tokens.len() && depth > 0 {
+                    match &tokens[j].kind {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => depth -= 1,
+                        Tok::Ident(kw)
+                            if kw == "fn"
+                                && tokens.get(j + 1).and_then(ident)
+                                    == Some("write_digest") =>
+                        {
+                            return Some(fn_body_idents(tokens, j + 2));
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collect identifiers in the brace-delimited body starting at or after
+/// `i` (skips the signature up to the first `{`).
+fn fn_body_idents(tokens: &[Token], mut i: usize) -> Vec<String> {
+    while i < tokens.len() && !matches!(tokens[i].kind, Tok::Punct('{')) {
+        i += 1;
+    }
+    let mut depth = 1usize;
+    i += 1;
+    let mut out = Vec::new();
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i].kind {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => depth -= 1,
+            Tok::Ident(s) => out.push(s.clone()),
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}

@@ -1,0 +1,125 @@
+//! Inline suppression directives.
+//!
+//! Syntax (inside any comment — `//` in Rust, `#` in Cargo.toml):
+//!
+//! ```text
+//! // detlint: allow(rule_id) — reason the violation is acceptable
+//! // detlint: allow(rule_a, rule_b) — one directive, several rules
+//! ```
+//!
+//! A trailing directive suppresses matching findings on its own line; a
+//! directive on a comment-only line suppresses the first code line
+//! below its comment block (so a multi-line reason still reaches the
+//! statement it annotates). The reason is **mandatory**: a directive
+//! without one
+//! still suppresses its target — so the report points at the real
+//! problem, the missing justification — but emits a `bad_suppression`
+//! finding of its own, which fails the lint gate.
+
+use crate::report::{Finding, RuleId};
+
+/// One parsed `detlint: allow(...)` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 1-based line the directive appears on.
+    pub line: u32,
+    /// 1-based line the directive suppresses: its own line for a
+    /// trailing comment, otherwise the first code line after the
+    /// comment block it belongs to (so a multi-line reason still
+    /// reaches the statement below it).
+    pub target_line: u32,
+    /// Rule identifiers listed inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Whether a non-empty reason follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+const MARKER: &str = "detlint:";
+
+/// Is this line nothing but a comment (or blank)? Used to let a
+/// directive in a comment block reach past the rest of the block.
+fn comment_only(line: &str) -> bool {
+    let t = line.trim_start();
+    t.is_empty() || t.starts_with("//") || t.starts_with('#') || t.starts_with("*")
+}
+
+/// Scan raw source lines for directives. Line-based on purpose: the
+/// directives live inside comments, which the token stream drops.
+pub fn parse(src: &str) -> Vec<Directive> {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let Some(pos) = raw.find(MARKER) else {
+            continue;
+        };
+        let rest = raw[pos + MARKER.len()..].trim_start();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = body[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        // Everything after `)` minus separator punctuation is the reason.
+        let reason = body[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim();
+        // A trailing comment suppresses its own line; a comment-only
+        // line suppresses the first code line below the comment block.
+        let target = if comment_only(raw) {
+            let mut j = idx + 1;
+            while j < lines.len() && comment_only(lines[j]) {
+                j += 1;
+            }
+            j as u32 + 1
+        } else {
+            idx as u32 + 1
+        };
+        out.push(Directive {
+            line: idx as u32 + 1,
+            target_line: target,
+            rules,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+/// Split `findings` into (kept, suppressed-count) under `directives`,
+/// appending a `bad_suppression` finding for each reasonless directive.
+pub fn apply(
+    rel_path: &str,
+    directives: &[Directive],
+    mut findings: Vec<Finding>,
+) -> (Vec<Finding>, usize) {
+    let mut suppressed = 0usize;
+    findings.retain(|f| {
+        let hit = directives.iter().any(|d| {
+            (d.line == f.line || d.target_line == f.line)
+                && d.rules.iter().any(|r| r == f.rule.id())
+        });
+        if hit {
+            suppressed += 1;
+        }
+        !hit
+    });
+    for d in directives {
+        if !d.has_reason {
+            findings.push(Finding {
+                rule: RuleId::BadSuppression,
+                file: rel_path.to_string(),
+                line: d.line,
+                message: format!(
+                    "suppression of {} has no reason; write `// detlint: allow({}) — why`",
+                    d.rules.join(", "),
+                    d.rules.join(", "),
+                ),
+            });
+        }
+    }
+    (findings, suppressed)
+}

@@ -1,0 +1,125 @@
+//! End-to-end gate semantics: `detlint::run` over a real directory
+//! tree. A deliberately seeded violation must be detected with the
+//! correct file:line and rule id (and would fail `scripts/ci.sh lint`,
+//! which exits non-zero on any unsuppressed finding), and the actual
+//! workspace must scan clean — the same invariant the CI gate enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Build a throwaway mini-workspace under the OS temp dir.
+struct TempTree {
+    root: PathBuf,
+}
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "detlint-gate-{}-{}",
+            tag,
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(&root).unwrap();
+        TempTree { root }
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, contents).unwrap();
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+const CLEAN_LIB: &str = "#![forbid(unsafe_code)]\npub fn ok() {}\n";
+
+#[test]
+fn seeded_violation_fails_the_gate_with_file_line_and_rule() {
+    let t = TempTree::new("seeded");
+    t.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"simcore\"\n\n[dependencies]\ntestkit.workspace = true\n",
+    );
+    t.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nuse std::collections::HashMap;\npub fn ok() {}\n",
+    );
+    let report = detlint::run(&t.root).unwrap();
+    assert!(report.has_findings(), "the seeded violation must fail the gate");
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!(f.rule.id(), "unordered_iter");
+    assert_eq!(f.file, "crates/demo/src/lib.rs");
+    assert_eq!(f.line, 2);
+    // This is exactly the condition `scripts/ci.sh lint` turns into a
+    // non-zero exit (the bin maps has_findings -> ExitCode::FAILURE).
+}
+
+#[test]
+fn clean_tree_passes_and_counts_files() {
+    let t = TempTree::new("clean");
+    t.write(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"wire\"\n\n[dependencies]\n",
+    );
+    t.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    let report = detlint::run(&t.root).unwrap();
+    assert!(!report.has_findings(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn fixture_and_target_directories_are_skipped() {
+    let t = TempTree::new("skip");
+    t.write("crates/demo/src/lib.rs", CLEAN_LIB);
+    t.write(
+        "crates/demo/fixtures/bad.rs",
+        "use std::collections::HashMap;\n",
+    );
+    t.write("target/debug/gen.rs", "use std::time::SystemTime;\n");
+    let report = detlint::run(&t.root).unwrap();
+    assert!(!report.has_findings(), "{:?}", report.findings);
+    assert_eq!(report.files_scanned, 1, "only the real source file is scanned");
+}
+
+#[test]
+fn json_report_round_trips_the_findings() {
+    let t = TempTree::new("json");
+    t.write(
+        "crates/demo/src/lib.rs",
+        "#![forbid(unsafe_code)]\nfn f() { let _ = std::time::SystemTime::now(); }\n",
+    );
+    let report = detlint::run(&t.root).unwrap();
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"wall_clock\""));
+    assert!(json.contains("\"file\": \"crates/demo/src/lib.rs\""));
+    assert!(json.contains("\"line\": 2"));
+}
+
+/// The real workspace must be clean: this mirrors the `scripts/ci.sh
+/// lint` gate from inside `cargo test`, so a determinism violation
+/// anywhere in the tree fails tier-1 too.
+#[test]
+fn whole_workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    assert!(root.join("ROADMAP.md").exists(), "workspace root not found");
+    let report = detlint::run(&root).unwrap();
+    assert!(
+        !report.has_findings(),
+        "workspace has unsuppressed detlint findings:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 100, "scan saw the whole workspace");
+    assert!(report.suppressed >= 8, "the annotated legitimate sites are counted");
+}

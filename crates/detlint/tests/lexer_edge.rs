@@ -1,0 +1,124 @@
+//! Lexer edge cases: raw strings, nested block comments, lifetime vs
+//! char disambiguation, escapes, byte literals, raw identifiers, and
+//! line accounting across all of them. Getting these wrong means rules
+//! fire inside string literals (false positives) or report the wrong
+//! line (useless findings).
+
+use detlint::lexer::{lex, Tok};
+
+fn idents(src: &str) -> Vec<(String, u32)> {
+    lex(src)
+        .into_iter()
+        .filter_map(|t| match t.kind {
+            Tok::Ident(s) => Some((s, t.line)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn ident_names(src: &str) -> Vec<String> {
+    idents(src).into_iter().map(|(s, _)| s).collect()
+}
+
+#[test]
+fn raw_strings_with_hash_guards() {
+    // The banned name lives inside raw strings of varying guard depth;
+    // only the trailing `ok` is a real identifier.
+    let src = r####"let a = r"HashMap"; let b = r#"say "HashSet" loud"#; ok"####;
+    assert_eq!(ident_names(src), vec!["let", "a", "let", "b", "ok"]);
+}
+
+#[test]
+fn raw_string_containing_quote_hash_sequences() {
+    // `"#` inside an `r##"…"##` string must not terminate it.
+    let src = r###"let s = r##"inner "# quote HashMap"##; after"###;
+    assert_eq!(ident_names(src), vec!["let", "s", "after"]);
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = "let a = b\"HashMap\"; let c = b'x'; let d = br#\"HashSet\"#; end";
+    assert_eq!(
+        ident_names(src),
+        vec!["let", "a", "let", "c", "let", "d", "end"]
+    );
+    let chars = lex(src)
+        .iter()
+        .filter(|t| t.kind == Tok::CharLit)
+        .count();
+    assert_eq!(chars, 1, "b'x' is a byte char literal");
+}
+
+#[test]
+fn nested_block_comments() {
+    let src = "/* outer /* inner HashMap */ still comment */ real /* /* a */ b */ tail";
+    assert_eq!(ident_names(src), vec!["real", "tail"]);
+}
+
+#[test]
+fn lifetime_vs_char_literal() {
+    let src = "fn f<'a>(x: &'a str, y: &'static u8) { let c = 'x'; let d = '\\n'; let e = '_'; }";
+    let toks = lex(src);
+    let lifetimes: Vec<String> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::Lifetime(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(lifetimes, vec!["a", "a", "static"]);
+    let chars = toks.iter().filter(|t| t.kind == Tok::CharLit).count();
+    assert_eq!(chars, 3, "'x', '\\n', and '_' are char literals");
+}
+
+#[test]
+fn unicode_escape_char_literal() {
+    let src = "let c = '\\u{1F600}'; next";
+    assert_eq!(ident_names(src), vec!["let", "c", "next"]);
+}
+
+#[test]
+fn string_escapes_do_not_end_strings() {
+    let src = r#"let s = "quote \" backslash \\ HashMap"; after"#;
+    assert_eq!(ident_names(src), vec!["let", "s", "after"]);
+}
+
+#[test]
+fn raw_identifiers() {
+    let src = "let r#type = 1; let radius = 2; let brake = 3;";
+    assert_eq!(
+        ident_names(src),
+        vec!["let", "type", "let", "radius", "let", "brake"]
+    );
+}
+
+#[test]
+fn line_numbers_across_multiline_constructs() {
+    let src = "first\n\"str\nstr\"\n/* c\nc */\nr#\"raw\nraw\"#\nlast";
+    let ids = idents(src);
+    assert_eq!(ids[0], ("first".to_string(), 1));
+    assert_eq!(ids[1], ("last".to_string(), 8));
+}
+
+#[test]
+fn string_line_continuation_counts_its_newline() {
+    // A `\` before the newline continues the string; the newline still
+    // advances the line counter (this was a real off-by-one against
+    // testkit's bench.rs).
+    let src = "let s = \"abc \\\n def\";\nnext";
+    let ids = idents(src);
+    assert_eq!(ids.last().unwrap(), &("next".to_string(), 3));
+}
+
+#[test]
+fn int_literals_keep_text_and_floats_split() {
+    let src = "let a = 0x5f5f; let b = 1_000u64; let c = 1.5;";
+    let ints: Vec<String> = lex(src)
+        .into_iter()
+        .filter_map(|t| match t.kind {
+            Tok::IntLit(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ints, vec!["0x5f5f", "1_000u64", "1", "5"]);
+}

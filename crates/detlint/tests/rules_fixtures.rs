@@ -1,0 +1,173 @@
+//! Fixture-file tests: every rule fires with the right file:line and
+//! rule id, and every rule is suppressible with a reasoned
+//! `detlint: allow`. The fixture sources live under `fixtures/`, which
+//! the workspace scanner skips — they exist to contain violations.
+
+use detlint::{check_rust_source, layering};
+
+fn ids(findings: &[detlint::Finding]) -> Vec<(&'static str, u32)> {
+    findings.iter().map(|f| (f.rule.id(), f.line)).collect()
+}
+
+#[test]
+fn unordered_iter_fires_and_suppresses() {
+    let src = include_str!("../fixtures/unordered_iter.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/lib.rs", src);
+    // use-line + two on the construction line; the annotated HashSet
+    // pair is suppressed; strings/comments never fire. The fixture is
+    // labelled src/lib.rs, so the missing forbid(unsafe_code) is also
+    // (correctly) reported.
+    assert_eq!(
+        ids(&findings),
+        vec![
+            ("forbid_unsafe", 1),
+            ("unordered_iter", 5),
+            ("unordered_iter", 8),
+            ("unordered_iter", 8),
+        ]
+    );
+    assert_eq!(suppressed, 2);
+}
+
+#[test]
+fn wall_clock_fires_and_suppresses() {
+    let src = include_str!("../fixtures/wall_clock.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("wall_clock", 6), ("wall_clock", 11)],
+        "Instant::now and SystemTime fire; type-position Instant does not"
+    );
+    assert_eq!(suppressed, 1, "trailing allow on the annotated site");
+}
+
+#[test]
+fn ambient_rng_fires_on_entropy_and_literal_seeds() {
+    let src = include_str!("../fixtures/ambient_rng.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![
+            ("ambient_rng", 5),
+            ("ambient_rng", 10),
+            ("ambient_rng", 15),
+        ],
+        "thread_rng, literal seed, and mangled literal seed fire; \
+         config seed, fork labels, #[cfg(test)] code, and the annotated \
+         site do not"
+    );
+    assert_eq!(suppressed, 1);
+}
+
+#[test]
+fn ambient_rng_is_relaxed_in_test_paths() {
+    let src = "fn setup() { let r = DetRng::new(1234); }";
+    let (findings, _) = check_rust_source("crates/demo/tests/proptests.rs", src);
+    assert!(findings.is_empty(), "test code may pin literal seeds");
+    let (findings, _) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(ids(&findings), vec![("ambient_rng", 1)]);
+}
+
+#[test]
+fn digest_coverage_reports_unfolded_counters() {
+    let src = include_str!("../fixtures/digest_coverage.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/stats.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("digest_coverage", 11)],
+        "only the unfolded pub u64 counter is reported"
+    );
+    assert!(findings[0].message.contains("late_adds"));
+    assert!(findings[0].message.contains("DemoStats"));
+    assert_eq!(suppressed, 1, "SuppressedStats::scratch is annotated");
+}
+
+#[test]
+fn forbid_unsafe_missing_vs_present() {
+    let clean = include_str!("../fixtures/clean_lib.rs");
+    let (findings, _) = check_rust_source("crates/demo/src/lib.rs", clean);
+    assert!(findings.is_empty(), "clean crate root has no findings");
+
+    let (findings, _) = check_rust_source("crates/demo/src/lib.rs", "pub fn f() {}");
+    assert_eq!(ids(&findings), vec![("forbid_unsafe", 1)]);
+
+    // Non-root files are not required to carry the attribute.
+    let (findings, _) = check_rust_source("crates/demo/src/inner.rs", "pub fn f() {}");
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn bad_suppression_reported_for_reasonless_allow() {
+    let src = include_str!("../fixtures/bad_suppression.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(suppressed, 2, "the reasonless allow still silences both HashMap hits");
+    assert_eq!(ids(&findings), vec![("bad_suppression", 5)]);
+    assert!(findings[0].message.contains("unordered_iter"));
+}
+
+#[test]
+fn layering_rejects_upward_and_registry_deps() {
+    let manifest = "\
+[package]
+name = \"tcp\"
+
+[dependencies]
+simcore.workspace = true
+rdcn.workspace = true
+serde = \"1.0\"
+
+[dev-dependencies]
+testkit.workspace = true
+bench.workspace = true
+";
+    let (findings, _) = layering::check_manifest("crates/tcp/Cargo.toml", manifest);
+    assert_eq!(
+        ids(&findings),
+        vec![
+            ("layer_deps", 6),
+            ("layer_deps", 7),
+            ("layer_deps", 11),
+        ],
+        "tcp->rdcn breaks the DAG, serde breaks the offline guarantee, \
+         and bench is unreachable even as a dev-dependency"
+    );
+    assert!(findings[1].message.contains("registry"));
+}
+
+#[test]
+fn layering_accepts_the_real_shape() {
+    let manifest = "\
+[package]
+name = \"tdtcp\"
+
+[dependencies]
+simcore.workspace = true
+wire.workspace = true
+tcp.workspace = true
+
+[dev-dependencies]
+testkit.workspace = true
+rdcn.workspace = true
+";
+    let (findings, _) = layering::check_manifest("crates/core/Cargo.toml", manifest);
+    assert!(
+        findings.is_empty(),
+        "transports may dev-depend on rdcn to drive an emulator: {findings:?}"
+    );
+}
+
+#[test]
+fn layering_suppressible_in_toml_comments() {
+    let manifest = "\
+[package]
+name = \"simcore\"
+
+[dependencies]
+testkit.workspace = true
+# detlint: allow(layer_deps) — fixture: documented migration exception
+wire.workspace = true
+";
+    let (findings, suppressed) = layering::check_manifest("crates/simcore/Cargo.toml", manifest);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+}

@@ -464,6 +464,7 @@ impl<'a> Emulator<'a> {
     /// Run until `until` (or until every flow finishes). Consumes the
     /// emulator and returns the collected results.
     pub fn run(mut self, until: SimTime) -> RunResult {
+        // detlint: allow(wall_clock) — perf reporting only (RunResult.wall); excluded from digests
         let wall_start = std::time::Instant::now();
         self.q.schedule(SimTime::ZERO, Ev::DayStart { day: 0 });
         self.q.schedule(SimTime::ZERO, Ev::Sample);

@@ -8,6 +8,7 @@
 //! [`emulator`] that drives any [`tcp::Transport`] implementation over the
 //! emulated fabric.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;

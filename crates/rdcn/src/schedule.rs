@@ -311,9 +311,11 @@ mod tests {
         for n in [2usize, 4, 8, 16] {
             let ms = rotor::matchings(n);
             assert_eq!(ms.len(), n - 1, "n={n}");
+            // detlint: allow(unordered_iter) — membership-only pair set; iteration order never observed
             let mut seen = std::collections::HashSet::new();
             for m in &ms {
                 assert_eq!(m.len(), n / 2);
+                // detlint: allow(unordered_iter) — membership-only set; iteration order never observed
                 let mut in_round = std::collections::HashSet::new();
                 for &(a, b) in m {
                     assert_ne!(a, b);

@@ -92,8 +92,8 @@ testkit::props! {
         let mut accepted = 0u64;
         let mut dequeued = 0u64;
         let mut seq_counter = 0u32;
-        let mut last_out: std::collections::HashMap<Option<TdnId>, u32> =
-            std::collections::HashMap::new();
+        let mut last_out: std::collections::BTreeMap<Option<TdnId>, u32> =
+            std::collections::BTreeMap::new();
         let mut t = 0u64;
         for (op, tdn) in ops {
             t += 1;

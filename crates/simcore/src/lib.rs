@@ -12,6 +12,7 @@
 //! wall-clock I/O — drives all progress, so runs are reproducible
 //! bit-for-bit from a seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;

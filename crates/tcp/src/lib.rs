@@ -17,6 +17,7 @@
 //!   CUBIC, DCTCP and reTCP implementations,
 //! * and the [`Transport`] trait the RDCN emulator drives.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ca;

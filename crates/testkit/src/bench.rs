@@ -177,6 +177,7 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 fn time_iters<R>(f: &mut impl FnMut() -> R, iters: u64) -> u64 {
+    // detlint: allow(wall_clock) — the microbench harness exists to measure real elapsed time
     let start = Instant::now();
     for _ in 0..iters {
         black_box(f());
@@ -197,6 +198,7 @@ fn run_bench<R>(cfg: &BenchConfig, name: &str, f: &mut impl FnMut() -> R) -> Ben
     let iters_per_trial = (cfg.target_trial_ns / per_iter).clamp(1, cfg.max_iters_per_trial);
 
     // Warmup for a fixed time budget.
+    // detlint: allow(wall_clock) — warmup budget is real time by design; never feeds results
     let warm_start = Instant::now();
     while (warm_start.elapsed().as_nanos() as u64) < cfg.warmup_ns {
         black_box(f());

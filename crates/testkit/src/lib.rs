@@ -13,6 +13,7 @@
 //! golden-value tests in [`rng`] pin the streams so they can never change
 //! silently.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

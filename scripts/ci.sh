@@ -3,7 +3,14 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak|chaos|bench]
+# Usage: scripts/ci.sh [soak|chaos|bench|lint]
+#   lint  — run only detlint, the in-repo determinism & layering
+#           static-analysis pass (DESIGN.md §10): no HashMap/HashSet
+#           iteration, no unannotated wall-clock reads, no ad-hoc RNG
+#           seeding, crate-layering DAG, digest counter coverage,
+#           forbid(unsafe_code) everywhere. Findings go to
+#           target/detlint.json; any unsuppressed finding exits
+#           non-zero. Also runs in the default gate before clippy.
 #   soak  — deepen the property-test search: every testkit `props!`
 #           block runs TK_CASES cases (default 10000) instead of its
 #           built-in count, and the chaos soak runs 5000 scenarios.
@@ -34,6 +41,13 @@ fi
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
+
+if [[ "$MODE" == "lint" ]]; then
+    echo "==> detlint (determinism & layering static analysis)"
+    cargo run -q --offline --release -p detlint -- --root . --json target/detlint.json
+    echo "LINT OK"
+    exit 0
+fi
 
 if [[ "$MODE" == "chaos" ]]; then
     CHAOS_CASES="${TK_CASES:-200}"
@@ -69,6 +83,9 @@ TK_CASES="$CHAOS_CASES" cargo test -q --offline --test chaos chaos_soak
 echo "==> figures quick smoke (parallel harness end to end)"
 cargo run -q --offline --release -p bench --bin figures -- quick \
     --bench-json "$(mktemp)" > /dev/null
+
+echo "==> detlint (determinism & layering static analysis)"
+cargo run -q --offline --release -p detlint -- --root . --json target/detlint.json
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
