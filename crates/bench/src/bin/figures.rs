@@ -5,7 +5,7 @@
 //!
 //! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
 //!              fig14a fig14b table1 notify ablation regime notify-sweep
-//!              faults impair
+//!              faults impair tails
 //!              all   (everything above)
 //!              quick (adds table1 + fig10 + fig11 at a reduced horizon;
 //!                     other requested experiments still run)
@@ -15,6 +15,11 @@
 //!               --jobs 1 forces the serial path for debugging)
 //! --bench-json PATH   write per-experiment wall time + events/sec to
 //!                     PATH (default BENCH_figures.json in the cwd)
+//! --tails-json PATH   where the `tails` experiment writes its FCT rows
+//!                     (default BENCH_tails.json in the cwd); the tails
+//!                     experiment always runs at its own fixed horizon so
+//!                     these rows are comparable to the checked-in
+//!                     baseline regardless of --horizon-ms
 //! ```
 //!
 //! Every experiment's sweep-style runs shard across worker threads via
@@ -60,6 +65,7 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut jobs: Option<usize> = None;
     let mut bench_json = "BENCH_figures.json".to_string();
+    let mut tails_json = "BENCH_tails.json".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -79,6 +85,9 @@ fn main() {
             }
             "--bench-json" => {
                 bench_json = it.next().expect("--bench-json needs a path").clone();
+            }
+            "--tails-json" => {
+                tails_json = it.next().expect("--tails-json needs a path").clone();
             }
             other => wanted.push(other.to_string()),
         }
@@ -110,7 +119,7 @@ fn main() {
         wanted = [
             "table1", "fig2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig13", "fig14a", "fig14b", "notify", "ablation", "regime", "notify-sweep",
-            "shortflows", "fairness", "multirack", "faults", "impair",
+            "shortflows", "fairness", "multirack", "faults", "impair", "tails",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -172,6 +181,11 @@ fn main() {
                 shortflows::print_short_flows(&rows);
             }
             "multirack" => multirack::run(SimTime::from_millis(15)).print(),
+            "tails" => {
+                let fig = tails::run();
+                fig.print();
+                fig.write_json(&tails_json);
+            }
             "faults" => faultsweep::run(horizon).print(),
             "impair" => impairsweep::run(horizon).print(),
             "fairness" => {

@@ -1,0 +1,166 @@
+//! Tail-latency regression gate over `BENCH_tails.json` files.
+//!
+//! ```text
+//! tailgate <baseline.json> <candidate.json> [--max-rise-pct P]
+//! ```
+//!
+//! Both files are the `figures tails` output (`suite: tails`, one row
+//! object per line). For every row present in the baseline, the
+//! candidate's `p99_us` and `p999_us` must not exceed the baseline by
+//! more than P percent (default 10), and the candidate must complete at
+//! least as many logical flows. A row that vanished from the candidate
+//! fails: deleting a sweep point must not silently retire its baseline.
+//! Rows new in the candidate are reported but do not fail (they get a
+//! baseline when it is next regenerated).
+//!
+//! The workload is deterministic, so on an unchanged tree the candidate
+//! reproduces the baseline bit-for-bit and the tolerance only absorbs
+//! intentional, reviewed behaviour changes — like `benchgate` for
+//! events/sec, but over FCT tails.
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extract the JSON string value following `"<key>": "` on a line.
+/// The tails writer emits one row object per line, so line-local
+/// scanning is exact for this format.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extract the JSON number following `"<key>": ` on a line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .map_or(line.len(), |i| start + i);
+    line[start..end].parse().ok()
+}
+
+/// One parsed row.
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    p99_us: f64,
+    p999_us: f64,
+    completed: f64,
+}
+
+/// Parse a tails suite file into `name -> row`.
+fn load_rows(path: &str) -> Result<BTreeMap<String, Row>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if let (Some(name), Some(p99_us), Some(p999_us), Some(completed)) = (
+            str_field(line, "name"),
+            num_field(line, "p99_us"),
+            num_field(line, "p999_us"),
+            num_field(line, "completed"),
+        ) {
+            out.insert(name, Row { p99_us, p999_us, completed });
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no tail rows found"));
+    }
+    Ok(out)
+}
+
+/// Check one metric of one row; returns whether it failed.
+fn check(name: &str, metric: &str, old: f64, new: f64, max_ratio: f64) -> bool {
+    // A zero baseline (nothing completed at that sweep point) only
+    // passes a zero candidate: any completion-time appearing from
+    // nowhere is a change worth reviewing.
+    let failed = if old == 0.0 { new > 0.0 } else { new > old * max_ratio };
+    let verdict = if failed { "FAIL" } else { "ok" };
+    println!("  {verdict:<4} {name:<22} {metric:<8} {old:>10.1} -> {new:>10.1} us");
+    failed
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_rise_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-rise-pct" => {
+                max_rise_pct = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-rise-pct needs a number");
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = &paths[..] else {
+        eprintln!("usage: tailgate <baseline.json> <candidate.json> [--max-rise-pct P]");
+        return ExitCode::FAILURE;
+    };
+    assert!(max_rise_pct >= 0.0, "--max-rise-pct must be non-negative");
+    let max_ratio = 1.0 + max_rise_pct / 100.0;
+
+    let baseline = match load_rows(baseline_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tailgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let candidate = match load_rows(candidate_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tailgate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "tailgate: {candidate_path} vs baseline {baseline_path} \
+         (fail above +{max_rise_pct}% p99/p999 FCT)"
+    );
+    let mut failures = 0u32;
+    for (name, old) in &baseline {
+        match candidate.get(name) {
+            None => {
+                println!("  FAIL {name:<22} missing from candidate");
+                failures += 1;
+            }
+            Some(new) => {
+                failures += check(name, "p99_us", old.p99_us, new.p99_us, max_ratio) as u32;
+                failures += check(name, "p999_us", old.p999_us, new.p999_us, max_ratio) as u32;
+                if new.completed < old.completed {
+                    println!(
+                        "  FAIL {name:<22} completed {} -> {}",
+                        old.completed, new.completed
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    for name in candidate.keys().filter(|n| !baseline.contains_key(*n)) {
+        println!("  new  {name:<22} (no baseline yet)");
+    }
+
+    if failures > 0 {
+        eprintln!("tailgate: {failures} tail regression(s) beyond the +{max_rise_pct}% budget");
+        return ExitCode::FAILURE;
+    }
+    println!("tailgate: OK");
+    ExitCode::SUCCESS
+}

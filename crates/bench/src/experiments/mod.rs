@@ -12,6 +12,7 @@ pub mod notify;
 pub mod seqgraph;
 pub mod shortflows;
 pub mod table1;
+pub mod tails;
 pub mod voqfig;
 
 use simcore::SimTime;

@@ -5,14 +5,19 @@
 //!   experiment checks the flip side, that TDTCP does not *hurt* them:
 //!   Poisson arrivals of RPC-sized transfers complete in comparable time
 //!   under TDTCP and CUBIC, with long-lived background flows running.
+//!   The workload itself comes from [`crate::tails`] — one generator,
+//!   two figures — so arrivals now draw from the forked tail stream
+//!   rather than this module's old ad-hoc xor-derived RNG.
 //! * **Fairness** — §3.5 expects per-TDN CCAs to keep their single-path
 //!   fairness; measured as Jain's index across 16 flows, half of which
 //!   start late (convergence test).
 
+use crate::tails::{run_tails, make_endpoints, Population, TailSpec};
 use crate::variants::Variant;
 use rdcn::{Emulator, FlowSpec, NetConfig};
-use simcore::{Cdf, DetRng, SimDuration, SimTime};
-use tcp::Transport;
+use simcore::SimTime;
+
+pub use crate::tails::jain_index;
 
 /// Result of the short-flow experiment for one variant.
 #[derive(Debug)]
@@ -33,110 +38,32 @@ pub fn short_flows(
     variant: Variant,
     n_short: usize,
     short_bytes: u64,
-    mean_gap: SimDuration,
+    mean_gap: simcore::SimDuration,
     background: usize,
     horizon: SimTime,
 ) -> ShortFlowResult {
-    let mut net = NetConfig::paper_baseline();
-    variant.apply_net_config(&mut net);
-    // Poisson arrivals.
-    // detlint: allow(ambient_rng) — pre-detlint xor-derived arrival stream; rewriting it as
-    // fork(LABEL) would change every published short-flow figure for no behavioural gain
-    let mut rng = DetRng::new(net.seed ^ 0x5f5f);
-    let mut specs = Vec::new();
-    for _ in 0..background {
-        specs.push(FlowSpec {
-            start: SimTime::ZERO,
-        });
-    }
-    let mut t = SimTime::from_millis(2); // let background flows settle
-    for _ in 0..n_short {
-        t += SimDuration::from_nanos(rng.exponential(mean_gap.as_nanos() as f64) as u64);
-        specs.push(FlowSpec { start: t });
-    }
-    let specs_clone = specs.clone();
-    let factory: rdcn::emulator::TimedEndpointFactory = Box::new(move |i, now| {
-        let bytes = if i < background { u64::MAX } else { short_bytes };
-        make_endpoints(variant, i, bytes, now)
-    });
-    let emu = Emulator::new_staggered(net, specs, factory);
-    let res = emu.run(horizon);
-
-    let mut fct = Cdf::new();
-    let mut completed = 0;
-    let mut started = 0;
-    for (spec, completion) in specs_clone
-        .iter()
-        .zip(&res.completions)
-        .skip(background)
-        .take(n_short)
-    {
-        if spec.start >= horizon {
-            continue;
-        }
-        started += 1;
-        if let Some(done) = completion {
-            completed += 1;
-            fct.add(done.saturating_since(spec.start).as_micros() as f64);
-        }
-    }
+    let spec = TailSpec::poisson(
+        Population::Uniform(variant),
+        n_short,
+        short_bytes,
+        mean_gap,
+        background,
+    );
+    let outcome = run_tails(&spec, &NetConfig::paper_baseline(), horizon);
+    let mut oracle = outcome.oracle();
+    let pct = |o: &mut crate::tails::FctOracle, permille| {
+        o.percentile_permille(permille)
+            .map_or(f64::NAN, |ns| ns as f64 / 1_000.0)
+    };
     ShortFlowResult {
-        label: variant.label().to_string(),
-        completed,
-        started,
+        label: outcome.label.clone(),
+        completed: outcome.completed,
+        started: outcome.started,
         fct_us: (
-            fct.percentile(50.0).unwrap_or(f64::NAN),
-            fct.percentile(90.0).unwrap_or(f64::NAN),
-            fct.percentile(99.0).unwrap_or(f64::NAN),
+            pct(&mut oracle, 500),
+            pct(&mut oracle, 900),
+            pct(&mut oracle, 990),
         ),
-    }
-}
-
-/// Build one flow's endpoints at time `now` — like `Variant::factory` but
-/// start-time aware (connections initiate their SYN at `now`).
-fn make_endpoints(
-    variant: Variant,
-    i: usize,
-    bytes: u64,
-    now: SimTime,
-) -> (Box<dyn Transport>, Box<dyn Transport>) {
-    use tcp::cc::{CcConfig, Cubic};
-    use tcp::FlowId;
-    let cc = CcConfig::default();
-    match variant {
-        Variant::Tdtcp => {
-            let mut cfg = tdtcp::TdtcpConfig::default();
-            cfg.tcp.bytes_to_send = bytes;
-            let template = Cubic::new(cc);
-            (
-                Box::new(tdtcp::TdtcpConnection::connect(
-                    FlowId(i as u32),
-                    cfg.clone(),
-                    &template,
-                    now,
-                )),
-                Box::new(tdtcp::TdtcpConnection::listen(FlowId(i as u32), cfg, &template)),
-            )
-        }
-        _ => {
-            let cfg = tcp::Config {
-                bytes_to_send: bytes,
-                ..tcp::Config::default()
-            };
-            (
-                Box::new(tcp::Connection::connect(
-                    FlowId(i as u32),
-                    cfg.clone(),
-                    Box::new(Cubic::new(cc)),
-                    now,
-                )),
-                Box::new(tcp::Connection::listen(
-                    FlowId(i as u32),
-                    cfg,
-                    Box::new(Cubic::new(cc)),
-                )),
-            )
-        }
     }
 }
 
@@ -154,17 +81,6 @@ pub fn print_short_flows(rows: &[ShortFlowResult]) {
         );
     }
     println!("paper §5.1: TDTCP is not expected to change short-flow completion times");
-}
-
-/// Jain's fairness index over per-flow delivered bytes.
-pub fn jain_index(xs: &[f64]) -> f64 {
-    let n = xs.len() as f64;
-    let sum: f64 = xs.iter().sum();
-    let sumsq: f64 = xs.iter().map(|x| x * x).sum();
-    if sumsq == 0.0 {
-        return 1.0;
-    }
-    sum * sum / (n * sumsq)
 }
 
 /// Fairness result for one variant.
@@ -189,8 +105,9 @@ pub fn fairness(variant: Variant, horizon: SimTime) -> FairnessResult {
             start: if i < 8 { SimTime::ZERO } else { late_start },
         })
         .collect();
+    let net_for_factory = net.clone();
     let factory: rdcn::emulator::TimedEndpointFactory =
-        Box::new(move |i, now| make_endpoints(variant, i, u64::MAX, now));
+        Box::new(move |i, now| make_endpoints(variant, &net_for_factory, i, u64::MAX, now));
     let emu = Emulator::new_staggered(net, specs, factory);
     let res = emu.run(horizon);
     // Throughput judged over the whole run minus the late start offset
@@ -225,20 +142,4 @@ pub fn print_fairness(rows: &[FairnessResult]) {
         println!("{:>8} {:>8.3} {:>13.2}x", r.label, r.jain, r.early_late_ratio);
     }
     println!("§3.5: per-TDN CCAs should keep their single-path fairness properties");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn jain_properties() {
-        assert!((jain_index(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
-        // One flow hogging everything: index -> 1/n.
-        let skew = jain_index(&[1.0, 0.0, 0.0, 0.0]);
-        assert!((skew - 0.25).abs() < 1e-12);
-        assert_eq!(jain_index(&[0.0, 0.0]), 1.0, "degenerate all-zero");
-        let mid = jain_index(&[2.0, 1.0]);
-        assert!(mid > 0.25 && mid < 1.0);
-    }
 }

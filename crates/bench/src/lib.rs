@@ -12,6 +12,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod tails;
 pub mod variants;
 pub mod workload;
 

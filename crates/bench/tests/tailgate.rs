@@ -1,0 +1,127 @@
+//! The `tailgate` binary's gate semantics, exercised end to end: a
+//! candidate matching the baseline passes; a seeded p99 regression, a
+//! vanished row, or a completion drop each force a non-zero exit. The
+//! failure path itself is under test — a gate that cannot fail is not a
+//! gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// One `BENCH_tails.json`-shaped suite with the given rows.
+fn suite(rows: &[(&str, f64, f64, u64)]) -> String {
+    let mut out = String::from("{\n  \"suite\": \"tails\",\n  \"unit\": \"us\",\n  \"results\": [\n");
+    for (i, (name, p99, p999, completed)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"p50_us\": 100.0, \"p99_us\": {p99:.1}, \
+             \"p999_us\": {p999:.1}, \"started\": 64, \"completed\": {completed}, \
+             \"rto_stalls\": 3, \"replica_wins\": 0, \"jain\": 0.9900}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `content` under the cargo-managed integration-test tmpdir and
+/// return the path.
+fn write_tmp(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write suite file");
+    path
+}
+
+/// Run the built `tailgate` against the two files; return success flag.
+fn gate(baseline: &PathBuf, candidate: &PathBuf, extra: &[&str]) -> bool {
+    Command::new(env!("CARGO_BIN_EXE_tailgate"))
+        .arg(baseline)
+        .arg(candidate)
+        .args(extra)
+        .status()
+        .expect("run tailgate")
+        .success()
+}
+
+const BASE: &[(&str, f64, f64, u64)] = &[
+    ("incast/cubic/d16", 25000.0, 26000.0, 47),
+    ("incast/tdtcp/d16", 27000.0, 27500.0, 51),
+];
+
+#[test]
+fn identical_candidate_passes() {
+    let b = write_tmp("tg_base_ok.json", &suite(BASE));
+    let c = write_tmp("tg_cand_ok.json", &suite(BASE));
+    assert!(gate(&b, &c, &[]), "identical candidate must pass");
+}
+
+#[test]
+fn seeded_p99_regression_fails() {
+    let b = write_tmp("tg_base_reg.json", &suite(BASE));
+    // 20% p99 rise on one row — past the default +10% budget.
+    let c = write_tmp(
+        "tg_cand_reg.json",
+        &suite(&[
+            ("incast/cubic/d16", 30000.0, 26000.0, 47),
+            ("incast/tdtcp/d16", 27000.0, 27500.0, 51),
+        ]),
+    );
+    assert!(!gate(&b, &c, &[]), "a 20% p99 rise must fail the gate");
+    // ...but a loosened budget admits it (the knob is live).
+    assert!(gate(&b, &c, &["--max-rise-pct", "25"]));
+}
+
+#[test]
+fn p999_regression_fails_independently() {
+    let b = write_tmp("tg_base_999.json", &suite(BASE));
+    let c = write_tmp(
+        "tg_cand_999.json",
+        &suite(&[
+            ("incast/cubic/d16", 25000.0, 32000.0, 47),
+            ("incast/tdtcp/d16", 27000.0, 27500.0, 51),
+        ]),
+    );
+    assert!(!gate(&b, &c, &[]), "a p999-only rise must fail the gate");
+}
+
+#[test]
+fn missing_row_fails_and_new_row_passes() {
+    let b = write_tmp("tg_base_rows.json", &suite(BASE));
+    let missing = write_tmp(
+        "tg_cand_missing.json",
+        &suite(&[("incast/cubic/d16", 25000.0, 26000.0, 47)]),
+    );
+    assert!(
+        !gate(&b, &missing, &[]),
+        "a vanished sweep point must fail the gate"
+    );
+    let extra = write_tmp(
+        "tg_cand_extra.json",
+        &suite(&[
+            ("incast/cubic/d16", 25000.0, 26000.0, 47),
+            ("incast/tdtcp/d16", 27000.0, 27500.0, 51),
+            ("cap/mixed/c4", 21000.0, 22000.0, 21),
+        ]),
+    );
+    assert!(gate(&b, &extra, &[]), "a new row must not fail the gate");
+}
+
+#[test]
+fn completion_drop_fails() {
+    let b = write_tmp("tg_base_done.json", &suite(BASE));
+    let c = write_tmp(
+        "tg_cand_done.json",
+        &suite(&[
+            ("incast/cubic/d16", 25000.0, 26000.0, 40),
+            ("incast/tdtcp/d16", 27000.0, 27500.0, 51),
+        ]),
+    );
+    assert!(!gate(&b, &c, &[]), "completing fewer flows must fail the gate");
+}
+
+#[test]
+fn unreadable_baseline_fails() {
+    let b = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("tg_nonexistent.json");
+    let c = write_tmp("tg_cand_unread.json", &suite(BASE));
+    assert!(!gate(&b, &c, &[]), "a missing baseline must fail, not pass");
+}

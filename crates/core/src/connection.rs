@@ -155,6 +155,10 @@ pub struct TdtcpConnection {
     rto_deadline: Option<SimTime>,
     tlp_deadline: Option<SimTime>,
     rto_backoff: u32,
+    /// When the RTO timer was last (re)armed — the last send/ACK activity
+    /// on the retransmission path. The gap to a subsequent RTO firing is
+    /// the dead air accounted to `ConnStats::stall_ns`.
+    rto_armed_at: SimTime,
     /// Zero-window persist timer: armed when the peer's window is closed,
     /// nothing is outstanding (so no RTO is armed), and data waits.
     persist_deadline: Option<SimTime>,
@@ -282,6 +286,7 @@ impl TdtcpConnection {
             rto_deadline: None,
             tlp_deadline: None,
             rto_backoff: 0,
+            rto_armed_at: SimTime::ZERO,
             persist_deadline: None,
             persist_backoff: 0,
             error: None,
@@ -1008,6 +1013,7 @@ impl TdtcpConnection {
         let tdn = self.rtx.front().map(|s| s.tdn).unwrap_or(self.current);
         let backoff = 1u64 << self.rto_backoff.min(12);
         self.rto_deadline = Some(now + self.rto_for(tdn).saturating_mul(backoff));
+        self.rto_armed_at = now;
     }
 
     /// Whether the connection is stuck behind a closed peer window: data
@@ -1224,6 +1230,13 @@ impl TdtcpConnection {
             self.stats.sack_reneges += u64::from(n);
         }
         self.stats.rtos += 1;
+        // RTO-stall accounting: a firing with zero backoff opens a new
+        // timer-recovery episode; backoff refires extend it. Either way
+        // the wait between arming and firing was dead air for the flow.
+        if self.rto_backoff == 0 {
+            self.stats.rto_stalls += 1;
+        }
+        self.stats.stall_ns += now.saturating_since(self.rto_armed_at).as_nanos();
         // Only the TDN owning the timed-out (oldest) segment collapses;
         // the other TDNs' models are not to blame and stay intact (§3.1's
         // isolation of per-TDN state).

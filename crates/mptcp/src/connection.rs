@@ -355,6 +355,8 @@ impl MptcpConnection {
                 s.sack_reneges += sub.sack_reneges;
                 s.corrupt_rx += sub.corrupt_rx;
                 s.conn_aborts += sub.conn_aborts;
+                s.rto_stalls += sub.rto_stalls;
+                s.stall_ns += sub.stall_ns;
             }
         }
         // Connection-level semantics for the sequence-progress metrics.

@@ -164,6 +164,13 @@ impl NetConfig {
         c
     }
 
+    /// The same configuration with the VOQ capacity (both directions)
+    /// replaced — the tiny-buffer knob the tail-latency suite sweeps.
+    pub fn with_voq_cap(mut self, cap_pkts: usize) -> NetConfig {
+        self.voq.cap_pkts = cap_pkts;
+        self
+    }
+
     /// Parameters of the TDN `id`.
     pub fn tdn(&self, id: TdnId) -> &TdnParams {
         &self.tdns[id.index()]

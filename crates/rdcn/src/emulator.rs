@@ -121,6 +121,10 @@ pub struct RunResult {
     pub final_cwnds: Vec<Vec<u32>>,
     /// When each flow's sender finished (staggered/finite workloads).
     pub completions: Vec<Option<SimTime>>,
+    /// When each flow started (its connection was created and the first
+    /// byte enqueued) — `SimTime::ZERO` for simultaneous workloads.
+    /// Together with [`RunResult::completions`] this yields per-flow FCT.
+    pub starts: Vec<SimTime>,
     /// Simulated duration.
     pub duration: SimDuration,
     /// Events processed (a performance counter).
@@ -190,6 +194,29 @@ impl RunResult {
             .map(|s| s.degraded_ns)
             .sum();
         SimDuration::from_nanos(ns)
+    }
+
+    /// Flow completion time of flow `i`: first-byte-enqueued (the flow's
+    /// start) to last-byte-acked (its sender reporting done). `None` if
+    /// the flow never finished within the run, or finished by *aborting*
+    /// (a surrendered flow has a completion timestamp but no FCT).
+    pub fn fct(&self, i: usize) -> Option<simcore::SimDuration> {
+        if self.conn_errors.get(i).is_some_and(|e| e.is_some()) {
+            return None;
+        }
+        let done = (*self.completions.get(i)?)?;
+        Some(done.saturating_since(self.starts[i]))
+    }
+
+    /// Total RTO-stall episodes across all senders (timer-based recovery
+    /// entries — the T-RACKs pathology counter).
+    pub fn rto_stalls(&self) -> u64 {
+        self.sender_stats.iter().map(|s| s.rto_stalls).sum()
+    }
+
+    /// Total nanoseconds senders spent waiting on RTO timers.
+    pub fn stall_ns(&self) -> u64 {
+        self.sender_stats.iter().map(|s| s.stall_ns).sum()
     }
 
     /// Total notification-watchdog fires, summed over all endpoints.
@@ -273,6 +300,9 @@ impl RunResult {
                     d.write_bool(false);
                 }
             }
+        }
+        for s in &self.starts {
+            d.write_u64(s.as_nanos());
         }
         d.write_u64(self.duration.as_nanos());
         d.write_u64(self.events);
@@ -633,6 +663,7 @@ impl<'a> Emulator<'a> {
                 .map(|s| s.as_ref().map(|s| s.cwnd_report()).unwrap_or_default())
                 .collect(),
             completions: self.completions.clone(),
+            starts: self.specs.iter().map(|s| s.start).collect(),
             sender_stats: self
                 .senders
                 .iter()

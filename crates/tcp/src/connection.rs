@@ -117,6 +117,10 @@ pub struct Connection {
     rto_deadline: Option<SimTime>,
     tlp_deadline: Option<SimTime>,
     rto_backoff: u32,
+    /// When the RTO timer was last (re)armed — the last send/ACK activity
+    /// on the retransmission path. The gap to a subsequent RTO firing is
+    /// the dead air accounted to `ConnStats::stall_ns`.
+    rto_armed_at: SimTime,
     next_paced_at: SimTime,
     /// Zero-window persist timer: armed when the peer's window is closed,
     /// nothing is outstanding (so no RTO is armed), and data waits.
@@ -184,6 +188,7 @@ impl Connection {
             rto_deadline: None,
             tlp_deadline: None,
             rto_backoff: 0,
+            rto_armed_at: SimTime::ZERO,
             next_paced_at: SimTime::ZERO,
             persist_deadline: None,
             persist_backoff: 0,
@@ -637,6 +642,7 @@ impl Connection {
         // with `ConnError` before the cap ever plateaus the backoff.
         let backoff = 1u64 << self.rto_backoff.min(12);
         self.rto_deadline = Some(now + self.rtt.rto().saturating_mul(backoff));
+        self.rto_armed_at = now;
     }
 
     /// Whether the connection is stuck behind a closed peer window: data
@@ -836,6 +842,13 @@ impl Connection {
             self.stats.sack_reneges += u64::from(n);
         }
         self.stats.rtos += 1;
+        // RTO-stall accounting: a firing with zero backoff opens a new
+        // timer-recovery episode; backoff refires extend it. Either way
+        // the wait between arming and firing was dead air for the flow.
+        if self.rto_backoff == 0 {
+            self.stats.rto_stalls += 1;
+        }
+        self.stats.stall_ns += now.saturating_since(self.rto_armed_at).as_nanos();
         self.ca = CaState::Loss;
         self.recovery_point = Some(self.snd_nxt);
         self.dupacks = 0;

@@ -76,6 +76,16 @@ pub struct ConnStats {
     /// Times the connection aborted with a terminal `ConnError` instead
     /// of retrying forever.
     pub conn_aborts: u64,
+    /// Episodes of timer-based loss recovery: an RTO fired with no
+    /// fast-recovery path available (counted once per episode — backoff
+    /// refires extend the episode rather than starting a new one). The
+    /// T-RACKs pathology for short flows is exactly these episodes.
+    pub rto_stalls: u64,
+    /// Total nanoseconds spent waiting on RTO timers: for every RTO that
+    /// fired, the dead air between the send/ACK activity that armed the
+    /// timer and the timer firing. The tail-latency suite attributes
+    /// p99/p999 FCT inflation to this counter.
+    pub stall_ns: u64,
 }
 
 impl ConnStats {
@@ -127,6 +137,8 @@ impl ConnStats {
             sack_reneges,
             corrupt_rx,
             conn_aborts,
+            rto_stalls,
+            stall_ns,
         } = *self;
         for v in [
             bytes_sent,
@@ -158,6 +170,8 @@ impl ConnStats {
             sack_reneges,
             corrupt_rx,
             conn_aborts,
+            rto_stalls,
+            stall_ns,
         ] {
             d.write_u64(v);
         }

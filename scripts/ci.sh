@@ -3,7 +3,7 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak|chaos|bench|lint]
+# Usage: scripts/ci.sh [soak|chaos|bench|lint|tails]
 #   lint  — run only detlint, the in-repo determinism & layering
 #           static-analysis pass (DESIGN.md §10): no HashMap/HashSet
 #           iteration, no unannotated wall-clock reads, no ad-hoc RNG
@@ -27,6 +27,17 @@
 #           25% events/sec vs its baseline median fails the gate.
 #           After a deliberate perf change, refresh the baselines by
 #           copying the freshly written files over the checked-in ones.
+#   tails — run the tail-latency acceptance suite (tests/tails.rs +
+#           the tailgate failure-path tests), regenerate the FCT rows
+#           with `figures tails`, and gate p99/p999 against the
+#           checked-in BENCH_tails.json baseline (tailgate: any row
+#           rising more than 10% or completing fewer flows fails).
+#           The workload is deterministic, so an unchanged tree
+#           reproduces the baseline bit-for-bit; after a deliberate
+#           behaviour change, refresh with:
+#           cargo run --release -p bench --bin figures -- tails
+#           and commit the rewritten BENCH_tails.json. Also runs in
+#           the default gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,6 +85,33 @@ if [[ "$MODE" == "bench" ]]; then
     exit 0
 fi
 
+# Regenerate the tail-latency FCT rows and gate them against the
+# checked-in baseline. Factored so both `ci.sh tails` and the default
+# gate run the same check.
+tailgate_check() {
+    local out
+    out="$(mktemp -d)/BENCH_tails.json"
+    echo "==> figures tails (tail-latency FCT rows into ${out})"
+    cargo run -q --offline --release -p bench --bin figures -- tails \
+        --tails-json "$out" --bench-json "$(mktemp)" > /dev/null
+    if [[ -f BENCH_tails.json ]]; then
+        echo "==> tailgate (>10% p99/p999 FCT rise vs checked-in baseline fails)"
+        cargo run -q --offline --release -p bench --bin tailgate -- \
+            BENCH_tails.json "$out"
+    else
+        echo "no checked-in BENCH_tails.json — seed one with: cp $out ."
+    fi
+}
+
+if [[ "$MODE" == "tails" ]]; then
+    echo "==> tail-latency acceptance suite"
+    cargo test -q --offline --test tails
+    cargo test -q --offline -p bench --test tailgate
+    tailgate_check
+    echo "TAILS OK"
+    exit 0
+fi
+
 echo "==> cargo test -q --offline"
 cargo test -q --offline --workspace
 
@@ -83,6 +121,8 @@ TK_CASES="$CHAOS_CASES" cargo test -q --offline --test chaos chaos_soak
 echo "==> figures quick smoke (parallel harness end to end)"
 cargo run -q --offline --release -p bench --bin figures -- quick \
     --bench-json "$(mktemp)" > /dev/null
+
+tailgate_check
 
 echo "==> detlint (determinism & layering static analysis)"
 cargo run -q --offline --release -p detlint -- --root . --json target/detlint.json

@@ -67,6 +67,74 @@ fn parallel_sweep_matches_serial_digests() {
     }
 }
 
+/// One tail-workload run's observable output, digested: the underlying
+/// emulator digest (which now folds per-flow starts and the RTO-stall
+/// counters) combined with the schedule digest and the folded FCT view.
+fn run_tails_once(degree: usize, seed: u64) -> u64 {
+    use bench::tails::{run_tails, Population, TailSpec};
+    let mut spec = TailSpec::incast(Population::MixedTdtcpCubic, degree);
+    spec.shorts = 12;
+    spec.short_bytes = 40_000;
+    spec.mean_gap = SimDuration::from_micros(200);
+    spec.hotspot_frac = 0.2;
+    spec.replication = 1;
+    let mut net = NetConfig::paper_baseline();
+    net.seed = seed;
+    let out = run_tails(&spec, &net, SimTime::from_millis(10));
+    let mut d = testkit::Digest::new();
+    d.write_u64(out.run_digest).write_u64(out.schedule_digest);
+    d.write_usize(out.started).write_usize(out.completed);
+    d.write_u64(out.replica_wins);
+    d.write_u64(out.rto_stalls).write_u64(out.stall_ns);
+    for f in &out.fcts_ns {
+        d.write_u64(*f);
+    }
+    for f in &out.censored_fcts_ns {
+        d.write_u64(*f);
+    }
+    d.finish()
+}
+
+/// The tail-latency workload joins the determinism contract: the same
+/// (degree, seed) cell reproduces bit-identically, and a sharded sweep
+/// over the (degree, seed) grid matches the serial one at every job
+/// count — the contract `figures tails` and its checked-in
+/// `BENCH_tails.json` baseline rest on.
+#[test]
+fn tails_runs_are_deterministic_and_shard_invariant() {
+    let grid: Vec<(usize, u64)> = [2usize, 4, 8]
+        .into_iter()
+        .flat_map(|d| (1u64..=3).map(move |seed| (d, seed)))
+        .collect();
+    let serial: Vec<u64> = grid.iter().map(|&(d, s)| run_tails_once(d, s)).collect();
+    let again: Vec<u64> = grid.iter().map(|&(d, s)| run_tails_once(d, s)).collect();
+    assert_eq!(serial, again, "tails digests must replay bit-identically");
+    for jobs in [1, 2, 4] {
+        let sharded =
+            simcore::par::par_map_jobs(jobs, grid.clone(), |_, (d, s)| run_tails_once(d, s));
+        assert_eq!(
+            sharded, serial,
+            "sharded tails digests diverged from serial at jobs={jobs}"
+        );
+    }
+}
+
+/// The inert-spec guarantee for the tail stream: a [`bench::tails`] spec
+/// that schedules nothing draws nothing, so running it over a config is
+/// bit-identical to a plain empty run of the same config (the tail
+/// stream is forked, never advanced).
+#[test]
+fn inert_tails_spec_leaves_clean_digest_unchanged() {
+    use bench::tails::{run_tails, Population, TailSpec};
+    let spec = TailSpec::inert(Population::Uniform(Variant::Cubic));
+    let horizon = SimTime::from_millis(2);
+    let a = run_tails(&spec, &NetConfig::paper_baseline(), horizon);
+    let b = run_tails(&spec, &NetConfig::paper_baseline(), horizon);
+    assert_eq!(a.run_digest, b.run_digest, "inert runs must replay");
+    assert_eq!(a.started, 0);
+    assert_eq!(a.rto_stalls, 0);
+}
+
 /// The digest actually has discriminating power: different seeds (which
 /// perturb flow start jitter and the notification model) or different
 /// variants must not collide on these workloads.
