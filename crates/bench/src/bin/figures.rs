@@ -5,7 +5,7 @@
 //!
 //! experiments: fig2 fig7a fig7b fig8a fig8b fig9 fig10 fig11 fig13
 //!              fig14a fig14b table1 notify ablation regime notify-sweep
-//!              faults impair tails
+//!              faults impair skew tails
 //!              all   (everything above)
 //!              quick (adds table1 + fig10 + fig11 at a reduced horizon;
 //!                     other requested experiments still run)
@@ -119,7 +119,7 @@ fn main() {
         wanted = [
             "table1", "fig2", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11",
             "fig13", "fig14a", "fig14b", "notify", "ablation", "regime", "notify-sweep",
-            "shortflows", "fairness", "multirack", "faults", "impair", "tails",
+            "shortflows", "fairness", "multirack", "faults", "impair", "skew", "tails",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -188,6 +188,7 @@ fn main() {
             }
             "faults" => faultsweep::run(horizon).print(),
             "impair" => impairsweep::run(horizon).print(),
+            "skew" => skew::run(horizon).print(),
             "fairness" => {
                 use bench::Variant;
                 let rows = simcore::par::par_map(

@@ -4,7 +4,8 @@
 //! index, per-mille impairment rates — so the testkit shrinker can walk
 //! every field toward zero independently: a minimal failing scenario is
 //! one where every rate that does not matter has shrunk away. The spec
-//! expands into a `(FaultPlan, ImpairPlan, workload, variant)` scenario,
+//! expands into a `(FaultPlan, ImpairPlan, ClockPlan, workload, variant)`
+//! scenario — control-plane, data-path, and time-plane chaos together —
 //! runs through the emulator, and the resulting [`RunResult`] is checked
 //! against [`check_invariants`] — the oracle every chaos case must pass:
 //!
@@ -22,7 +23,7 @@
 
 use crate::variants::Variant;
 use crate::workload::Workload;
-use rdcn::{EpsBurst, FaultPlan, ImpairPlan, NetConfig, RunResult};
+use rdcn::{ClockPlan, EpsBurst, FaultPlan, ImpairPlan, NetConfig, RunResult, SlotEdgePolicy};
 use simcore::{SimDuration, SimTime};
 
 /// Scenario horizon. Generous relative to the largest generated transfer
@@ -59,6 +60,17 @@ pub struct ChaosSpec {
     /// Whether an EPS fault burst (drops + corruption in a 2 ms window)
     /// is layered on top.
     pub eps_burst: bool,
+    /// Per-host static clock-offset bound, µs (time-plane chaos). Capped
+    /// by [`Self::clock_plan`] so scenarios stay live — see there.
+    pub clock_offset_us: u32,
+    /// Per-host clock drift-rate bound, ppm (capped by `clock_plan`).
+    pub clock_drift_ppm: u32,
+    /// Index into `[Drop, Defer, WrongTdn]` (mod 3): what the fabric
+    /// does with a launch mis-timed beyond the guard band.
+    pub slot_edge_idx: u8,
+    /// Whether hosts resync every 2 ms (PTP-style, 2 µs residual).
+    /// Unlocks over-guard offsets: any blackhole lasts one interval.
+    pub clock_resync: bool,
 }
 
 impl ChaosSpec {
@@ -102,11 +114,55 @@ impl ChaosSpec {
         plan
     }
 
+    /// The time-plane clock plan this spec encodes. Zero clock scalars
+    /// (the shrink target) yield `ClockPlan::none()` — the inert,
+    /// zero-draw plan.
+    ///
+    /// The bounds are chosen so every scenario honestly terminates
+    /// inside [`CHAOS_HORIZON`]: a host whose skew exceeds the guard
+    /// band (100 µs in the paper baseline) drops the mis-timed fraction
+    /// of its launches *persistently*, and the transport's
+    /// retransmit-limit abort takes far longer than the horizon to
+    /// trip. So without resync the offset is capped at 85 µs and drift
+    /// at 60 ppm (≤ 15 µs over the horizon) — at most guard-band skew,
+    /// absorbed by design. With resync on, offsets may overshoot to
+    /// 150 µs: the slot-edge policy genuinely fires, but only until the
+    /// host's first 2 ms resync collapses the offset to ≤ 2 µs.
+    pub fn clock_plan(&self) -> ClockPlan {
+        if self.clock_offset_us == 0 && self.clock_drift_ppm == 0 && !self.clock_resync {
+            // A policy index alone skews nothing: collapse to the
+            // inert plan so the zero-draw guarantee holds.
+            return ClockPlan::none();
+        }
+        let cap_us = if self.clock_resync { 150 } else { 85 };
+        ClockPlan {
+            offset_bound: SimDuration::from_micros(u64::from(self.clock_offset_us.min(cap_us))),
+            drift_ppm: f64::from(self.clock_drift_ppm.min(60)),
+            jitter: SimDuration::ZERO,
+            resync_interval: if self.clock_resync {
+                SimDuration::from_millis(2)
+            } else {
+                SimDuration::ZERO
+            },
+            resync_error: if self.clock_resync {
+                SimDuration::from_micros(2)
+            } else {
+                SimDuration::ZERO
+            },
+            slot_edge_policy: match self.slot_edge_idx % 3 {
+                0 => SlotEdgePolicy::Drop,
+                1 => SlotEdgePolicy::Defer,
+                _ => SlotEdgePolicy::WrongTdn,
+            },
+        }
+    }
+
     /// Expand and run the scenario.
     pub fn run(&self) -> RunResult {
         let mut net = NetConfig::paper_baseline();
         net.faults = self.fault_plan();
         net.impair = self.impair_plan();
+        net.clock = self.clock_plan();
         let wl = Workload {
             variant: self.variant(),
             flows: self.flows(),
@@ -216,6 +272,10 @@ mod tests {
             corrupt_pm: 0,
             notify_loss_pm: 0,
             eps_burst: false,
+            clock_offset_us: 0,
+            clock_drift_ppm: 0,
+            slot_edge_idx: 0,
+            clock_resync: false,
         }
     }
 
@@ -225,6 +285,37 @@ mod tests {
         let res = spec.run();
         check_invariants(&spec, &res).unwrap();
         assert_eq!(res.impairments.total(), 0, "inert plan must not impair");
+        assert_eq!(res.clock.total(), 0, "inert clock plan must not skew");
+    }
+
+    #[test]
+    fn policy_index_alone_is_inert() {
+        let spec = ChaosSpec {
+            slot_edge_idx: 2,
+            ..quiet_spec()
+        };
+        assert!(spec.clock_plan().is_none(), "no skew source, no plan");
+    }
+
+    #[test]
+    fn skewed_scenario_passes_and_skews() {
+        // Big enough (and lossy enough) to stay active past the first
+        // 2 ms resync interval, so the resync path is exercised too.
+        let spec = ChaosSpec {
+            clock_offset_us: 150,
+            clock_drift_ppm: 40,
+            clock_resync: true,
+            bytes_kb: 255,
+            loss_pm: 15,
+            ..quiet_spec()
+        };
+        let res = spec.run();
+        check_invariants(&spec, &res).unwrap();
+        assert!(res.clock.resyncs > 0, "resync plan never resynced");
+        assert!(
+            res.clock.max_abs_skew_ns > 0,
+            "offset plan produced no skew"
+        );
     }
 
     #[test]

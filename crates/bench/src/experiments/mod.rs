@@ -11,6 +11,7 @@ pub mod multirack;
 pub mod notify;
 pub mod seqgraph;
 pub mod shortflows;
+pub mod skew;
 pub mod table1;
 pub mod tails;
 pub mod voqfig;

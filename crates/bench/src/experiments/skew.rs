@@ -1,0 +1,264 @@
+//! Time-plane sensitivity: goodput vs per-host clock drift, guard-band
+//! width, and resync cadence for TDTCP, CUBIC, and reTCP.
+//!
+//! The paper assumes hosts and the ToR agree on where slot boundaries
+//! fall; this sweep quantifies what each variant pays when they don't.
+//! Three dimensions; per point a bulk run (steady goodput), a
+//! fixed-transfer run (horizon-censored p99 FCT — slot-edge losses are
+//! exactly the tail-loss regime T-RACKs targets), and the time-plane
+//! counters that explain both:
+//!
+//! 1. **Drift** under a well-run PTP deployment (1 ms resync to a 2 µs
+//!    residual): the headline is TDTCP holding ≥80% of clean goodput
+//!    at 50 ppm.
+//! 2. **Guard-band width** against a fixed 60 µs static-offset
+//!    population: shrinking the band exposes launches it absorbed.
+//! 3. **Resync cadence** against 150 µs offsets (past the default
+//!    guard band): without resync the mis-set hosts drop launches
+//!    forever; each tightening of the cadence buys goodput back.
+
+use crate::experiments::default_warmup;
+use crate::variants::Variant;
+use crate::workload::{steady_goodput_gbps, Workload};
+use rdcn::{ClockPlan, NetConfig};
+use simcore::{SimDuration, SimTime};
+
+/// Variants compared in the sweep.
+pub const VARIANTS: [Variant; 3] = [Variant::Tdtcp, Variant::Cubic, Variant::ReTcp];
+
+/// Drift magnitudes swept (ppm), each under 1 ms / 2 µs resync.
+pub const DRIFT_PPM: [f64; 4] = [0.0, 50.0, 200.0, 1000.0];
+/// Guard-band widths swept (µs) against the fixed offset population.
+pub const GUARD_US: [u64; 3] = [50, 20, 5];
+/// Resync intervals swept (ms; 0 = never) against over-guard offsets.
+pub const RESYNC_MS: [u64; 3] = [0, 4, 1];
+
+/// Static offset bound (µs) for the guard-band dimension — inside the
+/// default 100 µs guard, so only narrowed bands expose it.
+const GUARD_OFFSET_US: u64 = 60;
+/// Static offset bound (µs) for the resync dimension — past the
+/// default guard band, so only resync can rescue the worst hosts.
+const RESYNC_OFFSET_US: u64 = 150;
+
+/// Fixed transfer size per flow in the censored-FCT runs (matches the
+/// impair sweep's survival transfers).
+const FCT_BYTES: u64 = 400_000;
+
+/// One (variant, swept value) point.
+#[derive(Debug)]
+pub struct SkewRow {
+    /// Variant under test.
+    pub variant: Variant,
+    /// The swept value (ppm, guard µs, or resync ms per table).
+    pub x: f64,
+    /// Steady-state goodput in Gbps (bulk flows).
+    pub goodput_gbps: f64,
+    /// Goodput relative to the same variant's clean run.
+    pub clean_ratio: f64,
+    /// Horizon-censored p99 flow-completion time (µs) over fixed-size
+    /// transfers: flows still running at the horizon count at the
+    /// horizon, so stalls cannot silently leave the tail.
+    pub censored_p99_us: f64,
+    /// Fixed-size flows that completed in full within the horizon.
+    pub done: usize,
+    /// Fixed-size flows started.
+    pub started: usize,
+    /// Launches attempted while the host's perceived slot disagreed
+    /// with the fabric's.
+    pub skewed_sends: u64,
+    /// Launches dropped at the slot edge by the guard band.
+    pub guard_drops: u64,
+    /// Clock resyncs applied across all hosts.
+    pub resyncs: u64,
+    /// TDTCP senders+receivers that escalated to degraded mode on an
+    /// unusable clock.
+    pub escalations: u64,
+    /// Largest absolute perceived-vs-true skew observed (µs).
+    pub max_skew_us: f64,
+}
+
+/// The full time-plane sensitivity result.
+#[derive(Debug)]
+pub struct SkewSweep {
+    /// Goodput vs drift ppm (with resync).
+    pub drift: Vec<SkewRow>,
+    /// Goodput vs guard-band width (fixed 60 µs offsets).
+    pub guard: Vec<SkewRow>,
+    /// Goodput vs resync interval (fixed 150 µs offsets).
+    pub resync: Vec<SkewRow>,
+}
+
+impl SkewSweep {
+    /// Print all three tables.
+    pub fn print(&self) {
+        for (title, xlabel, rows) in [
+            ("clock drift, resync 1ms/2us", "ppm", &self.drift),
+            ("guard-band width, offsets 60us", "guard_us", &self.guard),
+            ("resync interval, offsets 150us (0 = never)", "resync_ms", &self.resync),
+        ] {
+            println!("\n== skew: goodput vs {title} ==");
+            println!(
+                "  variant  {xlabel:>9}    goodput   vs-clean  p99_fct_us   done    skewed     drops   resyncs  escal  max_skew"
+            );
+            for r in rows {
+                println!(
+                    "  {:>8}  {:>8.0}  {:>7.3} Gbps  {:>6.1}%  {:>9.0}  {:>2}/{:>2}  {:>8}  {:>8}  {:>8}  {:>5}  {:>6.1}us",
+                    r.variant.label(),
+                    r.x,
+                    r.goodput_gbps,
+                    r.clean_ratio * 100.0,
+                    r.censored_p99_us,
+                    r.done,
+                    r.started,
+                    r.skewed_sends,
+                    r.guard_drops,
+                    r.resyncs,
+                    r.escalations,
+                    r.max_skew_us,
+                );
+            }
+        }
+    }
+}
+
+fn measure(
+    variant: Variant,
+    x: f64,
+    clock: ClockPlan,
+    guard_band: Option<SimDuration>,
+    clean_gbps: f64,
+    horizon: SimTime,
+) -> SkewRow {
+    let warmup = default_warmup();
+    let mut net = NetConfig::paper_baseline();
+    net.clock = clock;
+    if let Some(g) = guard_band {
+        net.guard_band = g;
+    }
+    // Bulk run: goodput and the time-plane counters.
+    let res = Workload::bulk(variant, horizon).run(&net);
+    let g = steady_goodput_gbps(&res, warmup, horizon);
+    let escalations = res
+        .sender_stats
+        .iter()
+        .chain(&res.receiver_stats)
+        .map(|s| s.skew_escalations)
+        .sum();
+
+    // Fixed-transfer run: horizon-censored FCT tail. Flows that miss
+    // the horizon count at the horizon (nearest-rank over the censored
+    // multiset, same oracle as the tails suite).
+    let fin = Workload {
+        bytes_per_flow: FCT_BYTES,
+        ..Workload::bulk(variant, horizon)
+    }
+    .run(&net);
+    let started = fin.completions.len();
+    let done = fin.completions.iter().filter(|c| c.is_some()).count();
+    let mut oracle = crate::tails::FctOracle::new(
+        (0..started)
+            .map(|i| {
+                fin.completions[i]
+                    .unwrap_or(horizon)
+                    .saturating_since(fin.starts[i])
+                    .as_nanos()
+            })
+            .collect(),
+    );
+    let censored_p99_us = oracle.p99().unwrap_or(0) as f64 / 1_000.0;
+
+    SkewRow {
+        variant,
+        x,
+        goodput_gbps: g,
+        clean_ratio: if clean_gbps > 0.0 { g / clean_gbps } else { 0.0 },
+        censored_p99_us,
+        done,
+        started,
+        skewed_sends: res.clock.skewed_sends,
+        guard_drops: res.clock.guard_drops,
+        resyncs: res.clock.resyncs,
+        escalations,
+        max_skew_us: res.clock.max_abs_skew_ns as f64 / 1_000.0,
+    }
+}
+
+/// Drifting hosts under periodic PTP-style resync.
+fn drift_plan(ppm: f64) -> ClockPlan {
+    ClockPlan {
+        drift_ppm: ppm,
+        resync_interval: SimDuration::from_millis(1),
+        resync_error: SimDuration::from_micros(2),
+        ..ClockPlan::default()
+    }
+}
+
+/// Statically mis-set hosts, optionally rescued by resync.
+fn offset_plan(offset_us: u64, resync_ms: u64) -> ClockPlan {
+    ClockPlan {
+        offset_bound: SimDuration::from_micros(offset_us),
+        resync_interval: SimDuration::from_millis(resync_ms),
+        resync_error: if resync_ms > 0 {
+            SimDuration::from_micros(2)
+        } else {
+            SimDuration::ZERO
+        },
+        ..ClockPlan::default()
+    }
+}
+
+/// Run the time-plane sensitivity sweep.
+pub fn run(horizon: SimTime) -> SkewSweep {
+    let warmup = default_warmup();
+
+    // Per-variant clean baselines gate every point's clean_ratio, so
+    // they are the one barrier; everything after shards fully.
+    let clean = simcore::par::par_map(VARIANTS.to_vec(), |_, variant| {
+        let res = Workload::bulk(variant, horizon).run(&NetConfig::paper_baseline());
+        steady_goodput_gbps(&res, warmup, horizon)
+    });
+
+    // Flatten all three dimensions into one point list so every run
+    // shards across workers in a single pass, then split the ordered
+    // results back into their tables.
+    let mut points: Vec<(f64, usize, ClockPlan, Option<SimDuration>)> = Vec::new();
+    for &ppm in &DRIFT_PPM {
+        for vi in 0..VARIANTS.len() {
+            points.push((ppm, vi, drift_plan(ppm), None));
+        }
+    }
+    let n_drift = points.len();
+    for &guard_us in &GUARD_US {
+        for vi in 0..VARIANTS.len() {
+            points.push((
+                guard_us as f64,
+                vi,
+                ClockPlan::offset(SimDuration::from_micros(GUARD_OFFSET_US)),
+                Some(SimDuration::from_micros(guard_us)),
+            ));
+        }
+    }
+    let n_guard = points.len() - n_drift;
+    for &resync_ms in &RESYNC_MS {
+        for vi in 0..VARIANTS.len() {
+            points.push((
+                resync_ms as f64,
+                vi,
+                offset_plan(RESYNC_OFFSET_US, resync_ms),
+                None,
+            ));
+        }
+    }
+
+    let mut rows = simcore::par::par_map(points, |_, (x, vi, clock, guard)| {
+        measure(VARIANTS[vi], x, clock, guard, clean[vi], horizon)
+    });
+    let resync = rows.split_off(n_drift + n_guard);
+    let guard = rows.split_off(n_drift);
+
+    SkewSweep {
+        drift: rows,
+        guard,
+        resync,
+    }
+}

@@ -507,7 +507,10 @@ pub fn make_endpoints(
         Variant::Tdtcp => {
             let mut cfg = tdtcp::TdtcpConfig::default();
             cfg.tcp.bytes_to_send = bytes;
-            cfg.watchdog = Some(tdtcp::WatchdogConfig::for_slot(net.schedule.slot_len()));
+            cfg.watchdog = Some(tdtcp::WatchdogConfig::for_slot_with_guard(
+                net.schedule.slot_len(),
+                net.guard_band,
+            ));
             let template = Cubic::new(cc);
             (
                 Box::new(tdtcp::TdtcpConnection::connect(

@@ -90,7 +90,10 @@ impl Variant {
         match self {
             Variant::Tdtcp => {
                 let cc = CcConfig::default();
-                let watchdog = tdtcp::WatchdogConfig::for_slot(net.schedule.slot_len());
+                let watchdog = tdtcp::WatchdogConfig::for_slot_with_guard(
+                    net.schedule.slot_len(),
+                    net.guard_band,
+                );
                 Box::new(move |i| {
                     let mut cfg = TdtcpConfig::default();
                     cfg.tcp.bytes_to_send = bytes;

@@ -56,9 +56,17 @@ impl WatchdogConfig {
     /// single missed notification — a 2·slot gap — still overshoots the
     /// deadline by slot/2 and is reliably detected.
     pub fn for_slot(slot: SimDuration) -> WatchdogConfig {
+        Self::for_slot_with_guard(slot, slot / 2)
+    }
+
+    /// A watchdog for a schedule whose slot is `slot` with an explicit
+    /// guard band — the network-wide `NetConfig::guard_band`, so the
+    /// endpoint's timer slack, skew-gate window, and escalation threshold
+    /// agree with the slack the switch actually enforces at slot edges.
+    pub fn for_slot_with_guard(slot: SimDuration, guard: SimDuration) -> WatchdogConfig {
         WatchdogConfig {
             period: slot,
-            guard: slot / 2,
+            guard,
             degraded_cwnd_pkts: 4,
         }
     }
@@ -191,6 +199,22 @@ pub struct TdtcpConnection {
     /// capped until a fresh notification resynchronizes the host.
     degraded: bool,
     degraded_since: Option<SimTime>,
+
+    // --- skew hardening (local-clock drift vs. the ToR's cadence) ---
+    /// Phase reference for the skew estimator: generation and local
+    /// arrival time of the first applied notification since the last
+    /// (re)baseline. Notification `g` is expected at
+    /// `ref_time + (g - ref_gen)·period` on a well-disciplined clock;
+    /// the signed residual against that is pure local-clock skew plus
+    /// bounded delivery-latency noise.
+    skew_ref: Option<(u64, SimTime)>,
+    /// EWMA (gain 1/8) of those residuals in nanoseconds — the host's
+    /// estimate of how far its clock has slid against the schedule.
+    skew_ewma_ns: f64,
+    /// End of the current skew-gate pause, if the pacer is held across a
+    /// predicted slot edge. Folded into `next_timer_at` so the driver
+    /// wakes the host when the edge passes.
+    skew_gate_until: Option<SimTime>,
 }
 
 impl TdtcpConnection {
@@ -302,6 +326,9 @@ impl TdtcpConnection {
             last_notify_at: None,
             degraded: false,
             degraded_since: None,
+            skew_ref: None,
+            skew_ewma_ns: 0.0,
+            skew_gate_until: None,
         }
     }
 
@@ -468,6 +495,7 @@ impl TdtcpConnection {
             self.degraded = false;
             self.stats.notify_resyncs += 1;
         }
+        self.update_skew_estimate(now, gen);
         // Runtime schedule change: first sight of a new TDN allocates a
         // fresh state set (§4.2).
         while self.cfg.per_tdn_state && tdn.index() >= self.tdns.len() {
@@ -487,6 +515,81 @@ impl TdtcpConnection {
             // will be) sent on the new TDN (§3.4).
             self.tdn_change_ptr = self.snd_nxt;
         }
+    }
+
+    /// The host's current estimate of its clock skew against the ToR's
+    /// notification cadence, in signed nanoseconds (positive = local
+    /// clock running fast). Exposed for the skew acceptance tests.
+    pub fn estimated_skew_ns(&self) -> i64 {
+        self.skew_ewma_ns as i64
+    }
+
+    /// Update the skew estimate from this (applied, fresh) notification's
+    /// arrival residual against the phase reference, and escalate into
+    /// the degraded posture when the estimate exceeds the guard band:
+    /// a clock that far off can no longer place sends inside a slot, so
+    /// trusting per-TDN state selection is worse than the conservative
+    /// fallback — and the host need not wait for the watchdog's full
+    /// period to conclude that.
+    fn update_skew_estimate(&mut self, now: SimTime, gen: u64) {
+        let Some(wd) = self.cfg.watchdog else { return };
+        let period_ns = wd.period.as_nanos();
+        if period_ns == 0 {
+            return;
+        }
+        let Some((ref_gen, ref_at)) = self.skew_ref else {
+            self.skew_ref = Some((gen, now));
+            return;
+        };
+        let expect =
+            ref_at + SimDuration::from_nanos(gen.saturating_sub(ref_gen).saturating_mul(period_ns));
+        let resid = now.as_nanos() as i64 - expect.as_nanos() as i64;
+        self.skew_ewma_ns = self.skew_ewma_ns * 0.875 + resid as f64 * 0.125;
+        if !self.degraded && self.skew_ewma_ns.abs() > wd.guard.as_nanos() as f64 {
+            self.stats.skew_escalations += 1;
+            self.degraded = true;
+            self.degraded_since = Some(now);
+            // Re-baseline: when a fresh notification later resynchronizes
+            // the host, the estimator starts over instead of instantly
+            // re-escalating against the stale reference.
+            self.skew_ref = None;
+            self.skew_ewma_ns = 0.0;
+        }
+    }
+
+    /// Whether the skew-aware send gate currently holds the pacer: with
+    /// low confidence in the local clock (estimate past half the guard
+    /// band), new transmissions pause across the predicted slot edge —
+    /// segments launched into the edge would be killed or deferred by the
+    /// switch's slot-edge enforcement anyway, so holding them costs less
+    /// than losing them.
+    fn skew_gated(&mut self, now: SimTime) -> bool {
+        if let Some(until) = self.skew_gate_until {
+            if now < until {
+                return true;
+            }
+            self.skew_gate_until = None;
+        }
+        let Some(wd) = self.cfg.watchdog else { return false };
+        if self.degraded || !self.is_tdtcp() {
+            return false;
+        }
+        if self.skew_ewma_ns.abs() <= wd.guard.as_nanos() as f64 / 2.0 {
+            return false;
+        }
+        let Some(last) = self.last_notify_at else { return false };
+        let edge = last + wd.period;
+        if now >= edge {
+            // Past the predicted edge with no fresh notification yet: the
+            // watchdog owns truly missed slots; gating here would stall.
+            return false;
+        }
+        if now + wd.guard >= edge {
+            self.skew_gate_until = Some(edge);
+            self.stats.skew_gate_pauses += 1;
+            return true;
+        }
+        false
     }
 
     /// The watchdog deadline: one period plus a guard band after the last
@@ -1142,6 +1245,11 @@ impl TdtcpConnection {
         if let Some(wd) = self.watchdog_deadline() {
             t = Some(t.map_or(wd, |a| a.min(wd)));
         }
+        // Skew-gate release: wake exactly when the predicted slot edge
+        // passes so a gated sender resumes without an external event.
+        if let Some(g) = self.skew_gate_until {
+            t = Some(t.map_or(g, |a| a.min(g)));
+        }
         // Pacing wake-up: only relevant while there is something to send.
         if self.cfg.tcp.pacing
             && self.next_paced_at > SimTime::ZERO
@@ -1312,6 +1420,16 @@ impl TdtcpConnection {
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<Segment> {
         if let Some(seg) = self.pending.pop_front() {
             return Some(seg);
+        }
+        // Skew gate before pacing: control segments already queued above
+        // still flow; new data and retransmissions hold until the
+        // predicted slot edge passes. The gate, not the pacer, is now the
+        // binding constraint — disarm the pacing wake-up (stamped fresh on
+        // the next real send) so `next_timer_at` cannot advertise a stale
+        // past release and spin the driver at one instant forever.
+        if self.skew_gated(now) {
+            self.next_paced_at = SimTime::ZERO;
+            return None;
         }
         if self.cfg.tcp.pacing && now < self.next_paced_at {
             return None;

@@ -9,7 +9,13 @@ pub struct DemoStats {
     pub events_out: u64,
     /// NOT folded: must be reported.
     pub late_adds: u64,
-    /// Not a counter (not u64): ignored by the rule.
+    /// Folded signed extremum: fine.
+    pub min_gap_ns: i64,
+    /// NOT folded i64 state: must be reported.
+    pub max_skew_ns: i64,
+    /// NOT folded narrow counter: must be reported.
+    pub retries: u32,
+    /// Not a counter type: ignored by the rule.
     pub label: String,
 }
 
@@ -17,6 +23,7 @@ impl DemoStats {
     pub fn write_digest(&self, d: &mut Digest) {
         d.write_u64(self.events_in);
         d.write_u64(self.events_out);
+        d.write_i64(self.min_gap_ns);
     }
 }
 

@@ -18,10 +18,12 @@
 //!   test code.
 //! * `forbid_unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
-//! * `digest_coverage` — for any struct with pub `u64` counters and a
-//!   same-file `write_digest` method, every counter must appear in the
-//!   fold. This is the counter-omission bug class PRs 2–3 fixed by
-//!   hand when new stats fields landed without a digest update.
+//! * `digest_coverage` — for any struct with pub counter-typed fields
+//!   (`u64`, `i64`, `u32`) and a same-file `write_digest` method, every
+//!   counter must appear in the fold. This is the counter-omission bug
+//!   class PRs 2–3 fixed by hand when new stats fields landed without a
+//!   digest update; non-`u64` state (signed extrema like
+//!   `max_abs_skew_ns`, narrow counters) is just as easy to forget.
 
 use crate::lexer::{ident, Tok, Token};
 use crate::report::{Finding, RuleId};
@@ -213,7 +215,8 @@ fn digest_coverage(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
 
 struct CounterStruct {
     name: String,
-    /// (field name, declaration line) for every `pub …: u64` field.
+    /// (field name, declaration line) for every pub counter-typed
+    /// (`u64`/`i64`/`u32`) field.
     counters: Vec<(String, u32)>,
 }
 
@@ -261,8 +264,9 @@ fn collect_counter_structs(tokens: &[Token]) -> Vec<CounterStruct> {
     out
 }
 
-/// From just inside a struct body, collect `pub name: u64` fields until
-/// the matching close brace. Returns (fields, index past the brace).
+/// From just inside a struct body, collect `pub name: <counter>` fields
+/// (counter types: `u64`, `i64`, `u32`) until the matching close brace.
+/// Returns (fields, index past the brace).
 fn collect_fields(tokens: &[Token], mut i: usize) -> (Vec<(String, u32)>, usize) {
     let mut fields = Vec::new();
     let mut depth = 1usize;
@@ -281,7 +285,7 @@ fn collect_fields(tokens: &[Token], mut i: usize) -> (Vec<(String, u32)>, usize)
                             Some(Tok::Punct(',')) | Some(Tok::Punct('}')) | None
                         );
                         if matches!(colon.kind, Tok::Punct(':'))
-                            && ident(ty) == Some("u64")
+                            && matches!(ident(ty), Some("u64" | "i64" | "u32"))
                             && term_ok
                         {
                             fields.push((name.clone(), name_t.line));

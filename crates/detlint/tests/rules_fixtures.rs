@@ -74,11 +74,18 @@ fn digest_coverage_reports_unfolded_counters() {
     let (findings, suppressed) = check_rust_source("crates/demo/src/stats.rs", src);
     assert_eq!(
         ids(&findings),
-        vec![("digest_coverage", 11)],
-        "only the unfolded pub u64 counter is reported"
+        vec![
+            ("digest_coverage", 11),
+            ("digest_coverage", 15),
+            ("digest_coverage", 17),
+        ],
+        "unfolded u64, i64, and u32 counters are all reported; folded \
+         fields and non-counter types are not"
     );
     assert!(findings[0].message.contains("late_adds"));
     assert!(findings[0].message.contains("DemoStats"));
+    assert!(findings[1].message.contains("max_skew_ns"));
+    assert!(findings[2].message.contains("retries"));
     assert_eq!(suppressed, 1, "SuppressedStats::scratch is annotated");
 }
 

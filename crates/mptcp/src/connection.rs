@@ -357,6 +357,8 @@ impl MptcpConnection {
                 s.conn_aborts += sub.conn_aborts;
                 s.rto_stalls += sub.rto_stalls;
                 s.stall_ns += sub.stall_ns;
+                s.skew_gate_pauses += sub.skew_gate_pauses;
+                s.skew_escalations += sub.skew_escalations;
             }
         }
         // Connection-level semantics for the sequence-progress metrics.

@@ -1,5 +1,6 @@
 //! Network-level configuration for the emulated RDCN.
 
+use crate::clock::ClockPlan;
 use crate::faults::FaultPlan;
 use crate::impair::ImpairPlan;
 use crate::notify::NotifyConfig;
@@ -108,15 +109,30 @@ pub struct NetConfig {
     /// Like `faults`, the impairment stream is forked from `seed` under
     /// its own fixed label and never perturbs the clean path.
     pub impair: ImpairPlan,
+    /// Per-host clock skew/drift to inject during the run (none by
+    /// default). Like the other chaos layers, the clock stream is forked
+    /// from `seed` under its own fixed label and an inert plan makes
+    /// zero draws.
+    pub clock: ClockPlan,
+    /// The schedule guard band: the slack around each slot edge that
+    /// absorbs host clock skew. Shared by the slot-edge enforcement (a
+    /// mis-timed launch whose skew exceeds this is penalized per the
+    /// clock plan's policy) and by the TDTCP endpoint watchdog/skew
+    /// hardening (its timer slack and escalation threshold). Defaults to
+    /// half a slot, which preserves the watchdog's historical
+    /// `for_slot` slack.
+    pub guard_band: SimDuration,
 }
 
 impl NetConfig {
     /// The paper's baseline testbed (§5.1): hybrid 6:1 schedule,
     /// 10 G/100 µs packet TDN, 100 G/40 µs optical TDN, 16-packet VOQs.
     pub fn paper_baseline() -> NetConfig {
+        let schedule = Schedule::hybrid_6to1();
+        let guard_band = schedule.slot_len() / 2;
         NetConfig {
             tdns: vec![TdnParams::packet_10g(), TdnParams::optical_100g()],
-            schedule: Schedule::hybrid_6to1(),
+            schedule,
             voq: VoqConfig::default(),
             notifications: true,
             notify: NotifyConfig::optimized(),
@@ -127,6 +143,8 @@ impl NetConfig {
             seed: 1,
             faults: FaultPlan::default(),
             impair: ImpairPlan::default(),
+            clock: ClockPlan::default(),
+            guard_band,
         }
     }
 

@@ -9,6 +9,7 @@
 //! optionally applies reTCP switch support (circuit marking, advance VOQ
 //! enlargement, prepare signals).
 
+use crate::clock::{ClockInjector, ClockStats, ClockVerdict, CLOCK_STREAM_LABEL};
 use crate::config::NetConfig;
 use crate::faults::{DayFate, EpsVerdict, FaultInjector, FaultStats, NotifyVerdict, FAULT_STREAM_LABEL};
 use crate::impair::{ImpairInjector, ImpairStats, ImpairVerdict, IMPAIR_STREAM_LABEL};
@@ -145,6 +146,12 @@ pub struct RunResult {
     /// Digest of the applied-impairment sequence (order-sensitive); two
     /// runs with the same seed and plan must agree on it.
     pub impair_log_digest: u64,
+    /// Time-plane effects applied during the run (all zero for an empty
+    /// [`crate::ClockPlan`]).
+    pub clock: ClockStats,
+    /// Digest of the applied clock-event sequence (order-sensitive); two
+    /// runs with the same seed and plan must agree on it.
+    pub clock_log_digest: u64,
     /// Terminal error of each flow's sender, if it aborted instead of
     /// completing. `completions[i]` records when the sender *terminated*;
     /// this distinguishes success from surrender.
@@ -310,6 +317,8 @@ impl RunResult {
         d.write_u64(self.fault_log_digest);
         self.impairments.write_digest(&mut d);
         d.write_u64(self.impair_log_digest);
+        self.clock.write_digest(&mut d);
+        d.write_u64(self.clock_log_digest);
         for e in &self.conn_errors {
             match e {
                 None => {
@@ -358,6 +367,11 @@ pub struct Emulator<'a> {
     /// isolation guarantee as `faults`): an inert plan makes zero draws,
     /// so the clean path is bit-identical with or without the field.
     impair: ImpairInjector,
+    /// Executes `cfg.clock` against its own forked RNG stream (same
+    /// isolation guarantee): owns every host's perceived clock and the
+    /// slot-edge enforcement; inert plans make zero draws and return
+    /// true time untouched.
+    clock: ClockInjector,
     recorder: FlightRecorder,
 
     senders: Vec<Option<Box<dyn Transport + 'a>>>,
@@ -404,6 +418,7 @@ impl<'a> Emulator<'a> {
         let notify_model = NotifyModel::new(cfg.notify);
         let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
         let impair = ImpairInjector::new(cfg.impair.clone(), rng.fork(IMPAIR_STREAM_LABEL));
+        let clock = ClockInjector::new(cfg.clock.clone(), rng.fork(CLOCK_STREAM_LABEL));
         let mut senders = Vec::with_capacity(n_flows);
         let mut receivers = Vec::with_capacity(n_flows);
         for i in 0..n_flows {
@@ -417,6 +432,7 @@ impl<'a> Emulator<'a> {
             notify_model,
             faults,
             impair,
+            clock,
             recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
@@ -455,12 +471,14 @@ impl<'a> Emulator<'a> {
         let notify_model = NotifyModel::new(cfg.notify);
         let faults = FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL));
         let impair = ImpairInjector::new(cfg.impair.clone(), rng.fork(IMPAIR_STREAM_LABEL));
+        let clock = ClockInjector::new(cfg.clock.clone(), rng.fork(CLOCK_STREAM_LABEL));
         Emulator {
             voq_ab: Voq::new("voq_ab", cfg.voq),
             voq_ba: Voq::new("voq_ba", cfg.voq),
             notify_model,
             faults,
             impair,
+            clock,
             recorder: FlightRecorder::default(),
             rng,
             q: EventQueue::new(),
@@ -533,10 +551,11 @@ impl<'a> Emulator<'a> {
             };
             match ev {
                 Ev::StartFlow { flow } => {
+                    let pnow = self.host_now(Side::A, flow, now);
                     let (s, r) = self
                         .timed_factory
                         .as_mut()
-                        .expect("staggered emulator")(flow, now);
+                        .expect("staggered emulator")(flow, pnow);
                     self.senders[flow] = Some(s);
                     self.receivers[flow] = Some(r);
                     self.started += 1;
@@ -545,7 +564,8 @@ impl<'a> Emulator<'a> {
                 }
                 Ev::Arrive { side, flow, seg } => {
                     if self.host_exists(side, flow) {
-                        self.host_mut(side, flow).on_segment(now, &seg);
+                        let pnow = self.host_now(side, flow, now);
+                        self.host_mut(side, flow).on_segment(pnow, &seg);
                         self.flush(now, side, flow);
                         // The peer may now be able to send (window opened).
                         self.flush(now, side.other(), flow);
@@ -610,14 +630,19 @@ impl<'a> Emulator<'a> {
                 Ev::Prepare => self.on_prepare(now),
                 Ev::Notify { side, flow, tdn, gen } => {
                     if self.host_exists(side, flow) {
-                        self.host_mut(side, flow).on_tdn_notification(now, tdn, gen);
+                        // A skewed host reads the notification against its
+                        // own clock — this is exactly what desynchronizes
+                        // its slot-phase estimate.
+                        let pnow = self.host_now(side, flow, now);
+                        self.host_mut(side, flow).on_tdn_notification(pnow, tdn, gen);
                         self.flush(now, side, flow);
                     }
                 }
                 Ev::HostTimer { side, flow } => {
                     self.timer_slots[flow][side.idx()] = None;
                     if self.host_exists(side, flow) {
-                        self.host_mut(side, flow).on_timer(now);
+                        let pnow = self.host_now(side, flow, now);
+                        self.host_mut(side, flow).on_timer(pnow);
                         self.flush(now, side, flow);
                     }
                 }
@@ -687,6 +712,8 @@ impl<'a> Emulator<'a> {
             fault_log_digest: self.faults.log_digest(),
             impairments: *self.impair.stats(),
             impair_log_digest: self.impair.log_digest(),
+            clock: *self.clock.stats(),
+            clock_log_digest: self.clock.log_digest(),
             flight_log: self.recorder.into_events(),
         }
     }
@@ -711,6 +738,19 @@ impl<'a> Emulator<'a> {
         }
     }
 
+    /// Stable clock-host index of `(side, flow)`: every endpoint is its
+    /// own host with its own oscillator.
+    fn host_id(side: Side, flow: usize) -> usize {
+        flow * 2 + side.idx()
+    }
+
+    /// The host's perceived time at true time `now` (`now` exactly for an
+    /// inert clock plan). Endpoint-visible timestamps pass through this;
+    /// the emulator's own scheduling stays in true time.
+    fn host_now(&mut self, side: Side, flow: usize, now: SimTime) -> SimTime {
+        self.clock.perceived(Self::host_id(side, flow), now)
+    }
+
     fn host_mut(&mut self, side: Side, flow: usize) -> &mut (dyn Transport + 'a) {
         match side {
             Side::A => self.senders[flow].as_mut().expect("flow started").as_mut(),
@@ -731,10 +771,14 @@ impl<'a> Emulator<'a> {
         if !self.host_exists(side, flow) {
             return;
         }
+        // The host paces and arms timers against its *perceived* clock;
+        // deadlines it reports come back in that frame and are converted
+        // to true time below (skew is locally constant over one re-arm).
+        let pnow = self.host_now(side, flow, now);
         loop {
             let seg = match side {
-                Side::A => self.senders[flow].as_mut().expect("checked").poll_send(now),
-                Side::B => self.receivers[flow].as_mut().expect("checked").poll_send(now),
+                Side::A => self.senders[flow].as_mut().expect("checked").poll_send(pnow),
+                Side::B => self.receivers[flow].as_mut().expect("checked").poll_send(pnow),
             };
             let Some(seg) = seg else { break };
             let dir = match seg.dir {
@@ -750,12 +794,12 @@ impl<'a> Emulator<'a> {
             *nic = done;
             self.q.schedule(done, Ev::Enqueue { dir, seg });
         }
-        // Re-arm this host's timer.
+        // Re-arm this host's timer (perceived frame → true frame).
         let want = match side {
             Side::A => self.senders[flow].as_ref().expect("checked").next_timer(),
             Side::B => self.receivers[flow].as_ref().expect("checked").next_timer(),
         }
-        .map(|t| t.max(now));
+        .map(|pt| (now + pt.saturating_since(pnow)).max(now));
         let slot = &mut self.timer_slots[flow][side.idx()];
         if want != slot.map(|(t, _)| t) {
             if let Some((_, id)) = slot.take() {
@@ -779,8 +823,8 @@ impl<'a> Emulator<'a> {
 
     fn service(&mut self, now: SimTime, dir: Dir) {
         let Some(active) = self.active else { return };
-        let params = *self.cfg.tdn(active);
-        let mark = self.cfg.circuit_marking && active == self.cfg.circuit_tdn;
+        let mut params = *self.cfg.tdn(active);
+        let mut mark = self.cfg.circuit_marking && active == self.cfg.circuit_tdn;
         let voq = match dir {
             Dir::Ab => &mut self.voq_ab,
             Dir::Ba => &mut self.voq_ba,
@@ -788,10 +832,63 @@ impl<'a> Emulator<'a> {
         let Some(mut seg) = voq.dequeue_eligible(now, Some(active)) else {
             return;
         };
+        // Serialization happens on the *true* plane regardless of the
+        // sender's clock: the wire runs at the active TDN's rate.
+        let ser = SimDuration::serialization(u64::from(seg.wire_size()), params.rate_bps);
+        let to_side = match dir {
+            Dir::Ab => Side::B,
+            Dir::Ba => Side::A,
+        };
+        let flow = seg.flow.0 as usize;
+        // Slot-edge enforcement (`cfg.clock`): if the sender's perceived
+        // day disagrees with the true day by more than the guard band,
+        // this launch was mis-timed and the plan's policy decides its
+        // fate. The link is occupied either way — the segment went out;
+        // the edge decided what became of it.
+        if !self.clock.is_inert() {
+            let sender = match dir {
+                Dir::Ab => Side::A,
+                Dir::Ba => Side::B,
+            };
+            let host = Self::host_id(sender, flow);
+            match self
+                .clock
+                .on_send(host, now, &self.cfg.schedule, self.cfg.guard_band)
+            {
+                ClockVerdict::Send => {}
+                ClockVerdict::GuardDrop => {
+                    self.recorder
+                        .record(now, "slot edge: mis-timed segment dropped");
+                    self.finish_service(now, dir, ser, active);
+                    return;
+                }
+                ClockVerdict::Defer => {
+                    // Held at the ToR until the next slot opens.
+                    let at = self
+                        .cfg
+                        .schedule
+                        .day_start(self.cfg.schedule.day_number(now) + 1);
+                    self.recorder
+                        .record(now, "slot edge: mis-timed segment deferred");
+                    self.q.schedule(at, Ev::Enqueue { dir, seg });
+                    self.finish_service(now, dir, ser, active);
+                    return;
+                }
+                ClockVerdict::WrongTdn { perceived_day } => {
+                    // Delivered, but with the *stale* day's TDN semantics:
+                    // the segment rides the plane the sender thought was
+                    // up, picking up its propagation profile and marking.
+                    let stale = self.cfg.schedule.day_tdn(perceived_day);
+                    params = *self.cfg.tdn(stale);
+                    mark = self.cfg.circuit_marking && stale == self.cfg.circuit_tdn;
+                    self.recorder
+                        .record(now, "slot edge: segment delivered on wrong tdn");
+                }
+            }
+        }
         if mark {
             seg.circuit_mark = true;
         }
-        let ser = SimDuration::serialization(u64::from(seg.wire_size()), params.rate_bps);
         // In-network queueing jitter (per-packet, so it can reorder
         // segments within a TDN and strand stragglers across transitions).
         let jitter = match params.jitter {
@@ -801,11 +898,6 @@ impl<'a> Emulator<'a> {
             _ => SimDuration::ZERO,
         };
         let arrive_at = now + ser + params.one_way + jitter;
-        let to_side = match dir {
-            Dir::Ab => Side::B,
-            Dir::Ba => Side::A,
-        };
-        let flow = seg.flow.0 as usize;
         // Wire-path impairments (`cfg.impair`): applied at the moment of
         // transmission, so they hit whichever plane — EPS day or circuit
         // day, including segments straddling a transition — carries the
@@ -838,7 +930,18 @@ impl<'a> Emulator<'a> {
                 // can be trusted, so nothing arrives.
             }
         }
+        self.finish_service(now, dir, ser, active);
+    }
+
+    /// Common tail of one service step: the link stays occupied for the
+    /// segment's serialization time, and service continues if the VOQ
+    /// still holds eligible segments.
+    fn finish_service(&mut self, now: SimTime, dir: Dir, ser: SimDuration, active: TdnId) {
         self.link_free_at[dir.idx()] = now + ser;
+        let voq = match dir {
+            Dir::Ab => &mut self.voq_ab,
+            Dir::Ba => &mut self.voq_ba,
+        };
         if voq.has_eligible(Some(active)) {
             self.q.schedule(now + ser, Ev::Service { dir });
             self.service_pending[dir.idx()] = true;
@@ -945,8 +1048,12 @@ impl<'a> Emulator<'a> {
         self.voq_ab.set_cap(cap);
         self.voq_ba.set_cap(cap);
         for flow in 0..self.senders.len() {
-            if let Some(s) = self.senders[flow].as_mut() {
-                s.on_circuit_prepare(now);
+            if self.senders[flow].is_some() {
+                let pnow = self.host_now(Side::A, flow, now);
+                self.senders[flow]
+                    .as_mut()
+                    .expect("checked")
+                    .on_circuit_prepare(pnow);
                 self.flush(now, Side::A, flow);
             }
         }

@@ -25,13 +25,10 @@
 //!   (corrupted segments fail their checksum at delivery and are
 //!   discarded, so both manifest as loss with distinct counters).
 
+use crate::statfold::{self, InjectorStats, LogEvent};
 use simcore::{DetRng, SimDuration, SimTime};
 use testkit::Digest;
 use wire::TdnId;
-
-/// Cap on retained [`InjectedFault`] log entries; counters in
-/// [`FaultStats`] keep counting past it.
-const LOG_CAP: usize = 4096;
 
 /// A mid-day OCS circuit failure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,6 +181,15 @@ impl FaultStats {
     }
 }
 
+impl InjectorStats for FaultStats {
+    fn total(&self) -> u64 {
+        FaultStats::total(self)
+    }
+    fn write_digest(&self, d: &mut Digest) {
+        FaultStats::write_digest(self, d)
+    }
+}
+
 /// One concrete injected fault, recorded in order of injection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InjectedFault {
@@ -245,7 +251,7 @@ pub enum InjectedFault {
     },
 }
 
-impl InjectedFault {
+impl LogEvent for InjectedFault {
     fn write_digest(&self, d: &mut Digest) {
         match *self {
             InjectedFault::NotifyDropped { day, flow, side } => {
@@ -363,8 +369,9 @@ impl FaultInjector {
         &self.stats
     }
 
-    /// The injected-event log, in injection order (capped at 4096
-    /// entries; counters keep counting past the cap).
+    /// The injected-event log, in injection order (capped at
+    /// [`statfold::LOG_CAP`] entries; counters keep counting past the
+    /// cap).
     pub fn log(&self) -> &[InjectedFault] {
         &self.log
     }
@@ -372,19 +379,11 @@ impl FaultInjector {
     /// Digest of the injected-event sequence plus the counters — the
     /// object of the `FaultPlan` determinism property.
     pub fn log_digest(&self) -> u64 {
-        let mut d = Digest::new();
-        d.write_usize(self.log.len());
-        for ev in &self.log {
-            ev.write_digest(&mut d);
-        }
-        self.stats.write_digest(&mut d);
-        d.finish()
+        statfold::log_digest(&self.log, &self.stats)
     }
 
     fn push(&mut self, ev: InjectedFault) {
-        if self.log.len() < LOG_CAP {
-            self.log.push(ev);
-        }
+        statfold::push_capped(&mut self.log, ev);
     }
 
     /// Decide the fate of the notification for (`day`, `flow`, `side`).

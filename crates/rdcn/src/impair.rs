@@ -29,12 +29,9 @@
 //!   the receiving endpoint detects and discards it (`corrupt_rx`),
 //!   distinct from a drop.
 
+use crate::statfold::{self, InjectorStats, LogEvent};
 use simcore::{DetRng, SimDuration, SimTime};
 use testkit::Digest;
-
-/// Cap on retained [`ImpairEvent`] log entries; counters in
-/// [`ImpairStats`] keep counting past it.
-const LOG_CAP: usize = 4096;
 
 /// Declarative description of data-path adversity. The default plan
 /// impairs nothing.
@@ -128,6 +125,15 @@ impl ImpairStats {
     }
 }
 
+impl InjectorStats for ImpairStats {
+    fn total(&self) -> u64 {
+        ImpairStats::total(self)
+    }
+    fn write_digest(&self, d: &mut Digest) {
+        ImpairStats::write_digest(self, d)
+    }
+}
+
 /// One concrete applied impairment, recorded in order of application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ImpairEvent {
@@ -157,7 +163,7 @@ pub enum ImpairEvent {
     },
 }
 
-impl ImpairEvent {
+impl LogEvent for ImpairEvent {
     fn write_digest(&self, d: &mut Digest) {
         match *self {
             ImpairEvent::Drop { at_ns } => {
@@ -228,8 +234,9 @@ impl ImpairInjector {
         &self.stats
     }
 
-    /// The applied-event log, in application order (capped at 4096
-    /// entries; counters keep counting past the cap).
+    /// The applied-event log, in application order (capped at
+    /// [`statfold::LOG_CAP`] entries; counters keep counting past the
+    /// cap).
     pub fn log(&self) -> &[ImpairEvent] {
         &self.log
     }
@@ -237,19 +244,11 @@ impl ImpairInjector {
     /// Digest of the applied-event sequence plus the counters — the
     /// object of the `ImpairPlan` determinism property.
     pub fn log_digest(&self) -> u64 {
-        let mut d = Digest::new();
-        d.write_usize(self.log.len());
-        for ev in &self.log {
-            ev.write_digest(&mut d);
-        }
-        self.stats.write_digest(&mut d);
-        d.finish()
+        statfold::log_digest(&self.log, &self.stats)
     }
 
     fn push(&mut self, ev: ImpairEvent) {
-        if self.log.len() < LOG_CAP {
-            self.log.push(ev);
-        }
+        statfold::push_capped(&mut self.log, ev);
     }
 
     /// Decide the fate of one segment leaving a link at `now`. Called

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod clock;
 pub mod config;
 pub mod emulator;
 pub mod faults;
@@ -19,8 +20,13 @@ pub mod impair;
 pub mod multirack;
 pub mod notify;
 pub mod schedule;
+pub mod statfold;
 pub mod voq;
 
+pub use clock::{
+    ClockEvent, ClockInjector, ClockPlan, ClockStats, ClockVerdict, SlotEdgePolicy,
+    CLOCK_STREAM_LABEL,
+};
 pub use config::{NetConfig, RetcpDynConfig, TdnParams};
 pub use faults::{
     DayFate, EpsBurst, EpsVerdict, FaultInjector, FaultPlan, FaultStats, InjectedFault,
@@ -35,4 +41,5 @@ pub use impair::{
 pub use multirack::{MultiRackConfig, MultiRackEmulator, MultiRackResult, PairFlow};
 pub use notify::{NotifyConfig, NotifyModel, NotifySample};
 pub use schedule::{Phase, Schedule};
+pub use statfold::{InjectorStats, LogEvent, LOG_CAP};
 pub use voq::{Voq, VoqConfig};

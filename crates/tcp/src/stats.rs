@@ -86,6 +86,14 @@ pub struct ConnStats {
     /// timer and the timer firing. The tail-latency suite attributes
     /// p99/p999 FCT inflation to this counter.
     pub stall_ns: u64,
+    /// Pause episodes of the skew-aware send gate: the sender held its
+    /// pacer across a predicted slot edge because its clock-skew estimate
+    /// exceeded half the guard band (TDTCP only).
+    pub skew_gate_pauses: u64,
+    /// Times the skew estimator exceeded the full guard band and the
+    /// connection escalated into the degraded single-state posture
+    /// without waiting for the watchdog (TDTCP only).
+    pub skew_escalations: u64,
 }
 
 impl ConnStats {
@@ -139,6 +147,8 @@ impl ConnStats {
             conn_aborts,
             rto_stalls,
             stall_ns,
+            skew_gate_pauses,
+            skew_escalations,
         } = *self;
         for v in [
             bytes_sent,
@@ -172,6 +182,8 @@ impl ConnStats {
             conn_aborts,
             rto_stalls,
             stall_ns,
+            skew_gate_pauses,
+            skew_escalations,
         ] {
             d.write_u64(v);
         }

@@ -26,6 +26,13 @@ use tdtcp::{TdtcpConfig, TdtcpConnection};
 use wire::TdnId;
 
 fn satellite_net() -> NetConfig {
+    let schedule = Schedule {
+        day_len: SimDuration::from_millis(800),
+        night_len: SimDuration::from_millis(50),
+        // Orbit: fiber, fiber, satellite pass.
+        days: vec![TdnId(0), TdnId(0), TdnId(1)],
+    };
+    let guard_band = schedule.slot_len() / 2;
     NetConfig {
         tdns: vec![
             TdnParams {
@@ -39,12 +46,7 @@ fn satellite_net() -> NetConfig {
                 jitter: Some((0.1, SimDuration::from_micros(300))),
             },
         ],
-        schedule: Schedule {
-            day_len: SimDuration::from_millis(800),
-            night_len: SimDuration::from_millis(50),
-            // Orbit: fiber, fiber, satellite pass.
-            days: vec![TdnId(0), TdnId(0), TdnId(1)],
-        },
+        schedule,
         voq: VoqConfig {
             cap_pkts: 2048,
             ecn_threshold: None,
@@ -58,6 +60,8 @@ fn satellite_net() -> NetConfig {
         seed: 42,
         faults: rdcn::FaultPlan::default(),
         impair: rdcn::ImpairPlan::default(),
+        clock: rdcn::ClockPlan::default(),
+        guard_band,
     }
 }
 

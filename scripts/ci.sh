@@ -3,7 +3,7 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak|chaos|bench|lint|tails]
+# Usage: scripts/ci.sh [soak|chaos|bench|lint|tails|skew]
 #   lint  — run only detlint, the in-repo determinism & layering
 #           static-analysis pass (DESIGN.md §10): no HashMap/HashSet
 #           iteration, no unannotated wall-clock reads, no ad-hoc RNG
@@ -38,6 +38,13 @@
 #           cargo run --release -p bench --bin figures -- tails
 #           and commit the rewritten BENCH_tails.json. Also runs in
 #           the default gate.
+#   skew  — run the time-plane acceptance suite (tests/skew.rs: drift
+#           under resync holds ≥80% of clean goodput, guard-band knob,
+#           desync escalation, slot-edge policies) plus the skewed /
+#           inert-clock determinism tests. The same tests run inside
+#           the default gate's workspace pass; this mode is the quick
+#           focused loop. Regenerate the checked-in sweep tables with:
+#           cargo run --release -p bench --bin figures -- skew
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,6 +109,15 @@ tailgate_check() {
         echo "no checked-in BENCH_tails.json — seed one with: cp $out ."
     fi
 }
+
+if [[ "$MODE" == "skew" ]]; then
+    echo "==> time-plane acceptance suite (clock skew / guard band / desync)"
+    cargo test -q --offline --test skew
+    cargo test -q --offline --test determinism skew
+    cargo test -q --offline --test determinism inert_clock
+    echo "SKEW OK"
+    exit 0
+fi
 
 if [[ "$MODE" == "tails" ]]; then
     echo "==> tail-latency acceptance suite"

@@ -17,19 +17,25 @@ use testkit::{tk_assert, tk_assert_eq};
 
 /// Raw scenario scalars: `(seed, variant_idx, flows_idx, bytes_kb)`,
 /// `(loss_pm, reorder_pm, reorder_delay_us, dup_pm)`,
-/// `(corrupt_pm, notify_loss_pm, eps_burst)`.
+/// `(corrupt_pm, notify_loss_pm, eps_burst)`,
+/// `(clock_offset_us, clock_drift_ppm, slot_edge_idx, clock_resync)`.
 type RawSpec = (
     (u64, u8, u8, u32),
     (u32, u32, u32, u32),
     (u32, u32, bool),
+    (u32, u32, u8, bool),
 );
 
 /// Scenario generator. Rates are bounded so that every scenario can
 /// honestly terminate inside [`bench::chaos::CHAOS_HORIZON`]: loss ≤
 /// 2.5%, reordering ≤ 15% with sub-ms extra delay, duplication ≤ 2%,
-/// corruption ≤ 1%, notification loss ≤ 5%.
+/// corruption ≤ 1%, notification loss ≤ 5%. Clock skew is bounded by
+/// [`ChaosSpec::clock_plan`]'s own caps (guard-band offsets without
+/// resync, one-interval over-guard excursions with it); the generator
+/// ranges deliberately overshoot the caps so the capping path is
+/// exercised too.
 fn raw_spec() -> testkit::prop::Gen<RawSpec> {
-    tuple3(
+    tuple4(
         tuple4(
             range(0u64..1_000_000), // seed
             range(0u8..3),          // variant_idx
@@ -47,12 +53,22 @@ fn raw_spec() -> testkit::prop::Gen<RawSpec> {
             range(0u32..51), // notify_loss_pm
             any_bool(),      // eps_burst
         ),
+        tuple4(
+            range(0u32..161), // clock_offset_us (capped at 85/150)
+            range(0u32..81),  // clock_drift_ppm (capped at 60)
+            range(0u8..3),    // slot_edge_idx
+            any_bool(),       // clock_resync
+        ),
     )
 }
 
 fn spec_from(raw: &RawSpec) -> ChaosSpec {
-    let ((seed, variant_idx, flows_idx, bytes_kb), (loss_pm, reorder_pm, reorder_delay_us, dup_pm), (corrupt_pm, notify_loss_pm, eps_burst)) =
-        *raw;
+    let (
+        (seed, variant_idx, flows_idx, bytes_kb),
+        (loss_pm, reorder_pm, reorder_delay_us, dup_pm),
+        (corrupt_pm, notify_loss_pm, eps_burst),
+        (clock_offset_us, clock_drift_ppm, slot_edge_idx, clock_resync),
+    ) = *raw;
     ChaosSpec {
         seed,
         variant_idx,
@@ -65,6 +81,10 @@ fn spec_from(raw: &RawSpec) -> ChaosSpec {
         corrupt_pm,
         notify_loss_pm,
         eps_burst,
+        clock_offset_us,
+        clock_drift_ppm,
+        slot_edge_idx,
+        clock_resync,
     }
 }
 
@@ -106,7 +126,7 @@ testkit::props! {
     // never fire (the inert-plan guarantee end to end).
     #[cases(12)]
     fn chaos_clean_baseline(raw in raw_spec()) {
-        let ((seed, variant_idx, flows_idx, bytes_kb), _, _) = raw;
+        let ((seed, variant_idx, flows_idx, bytes_kb), _, _, _) = raw;
         let spec = ChaosSpec {
             seed,
             variant_idx,
@@ -119,11 +139,16 @@ testkit::props! {
             corrupt_pm: 0,
             notify_loss_pm: 0,
             eps_burst: false,
+            clock_offset_us: 0,
+            clock_drift_ppm: 0,
+            slot_edge_idx: 0,
+            clock_resync: false,
         };
         let res = spec.run();
         check_invariants(&spec, &res)?;
         tk_assert_eq!(res.impairments.total(), 0);
         tk_assert_eq!(res.faults.total(), 0);
+        tk_assert_eq!(res.clock.total(), 0);
         for (i, c) in res.completions.iter().enumerate() {
             tk_assert!(c.is_some(), "clean flow {i} did not complete");
             tk_assert!(res.conn_errors[i].is_none(), "clean flow {i} errored");
@@ -140,7 +165,9 @@ testkit::props! {
         let b = spec.run();
         tk_assert_eq!(a.stats_digest(), b.stats_digest());
         tk_assert_eq!(a.impair_log_digest, b.impair_log_digest);
+        tk_assert_eq!(a.clock_log_digest, b.clock_log_digest);
         tk_assert_eq!(a.impairments, b.impairments);
+        tk_assert_eq!(a.clock, b.clock);
         tk_assert_eq!(a.conn_errors, b.conn_errors);
     }
 }

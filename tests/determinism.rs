@@ -275,6 +275,94 @@ fn inert_impair_plan_leaves_clean_digest_unchanged() {
     }
 }
 
+fn run_skewed(variant: Variant, seed: u64, clock: rdcn::ClockPlan) -> u64 {
+    let mut net = NetConfig::paper_baseline();
+    net.clock = clock;
+    let wl = Workload {
+        flows: 4,
+        seed,
+        sample_every: SimDuration::from_micros(10),
+        ..Workload::bulk(variant, SimTime::from_millis(3))
+    };
+    wl.run(&net).stats_digest()
+}
+
+/// A plan that exercises every time-plane mechanism at once: per-host
+/// offsets past the guard band, drift, read jitter, and periodic
+/// resyncs.
+fn busy_clock_plan() -> rdcn::ClockPlan {
+    rdcn::ClockPlan {
+        offset_bound: SimDuration::from_micros(120),
+        drift_ppm: 200.0,
+        jitter: SimDuration::from_nanos(500),
+        resync_interval: SimDuration::from_millis(1),
+        resync_error: SimDuration::from_micros(2),
+        ..rdcn::ClockPlan::default()
+    }
+}
+
+/// Time-plane chaos joins the determinism contract: the same
+/// (seed, plan) pair reproduces a bit-identical digest across seeds and
+/// both headline variants, and every skewed digest diverges from its
+/// clean twin (the digest covers the clock log and counters).
+#[test]
+fn skewed_runs_are_deterministic() {
+    for variant in [Variant::Tdtcp, Variant::Cubic] {
+        for seed in [1u64, 0xC10C] {
+            let a = run_skewed(variant, seed, busy_clock_plan());
+            let b = run_skewed(variant, seed, busy_clock_plan());
+            assert_eq!(
+                a, b,
+                "skewed digest diverged: variant={variant:?} seed={seed:#x}"
+            );
+            assert_ne!(
+                a,
+                run_once(variant, seed),
+                "an armed clock plan must perturb the digest: variant={variant:?}"
+            );
+        }
+    }
+}
+
+/// The inert-plan guarantee for the time plane: attaching
+/// `ClockPlan::none()` explicitly makes zero draws from the clock
+/// stream, so the digest is bit-identical to the baseline default.
+#[test]
+fn inert_clock_plan_leaves_clean_digest_unchanged() {
+    for variant in [Variant::Tdtcp, Variant::Cubic] {
+        assert_eq!(
+            run_skewed(variant, 1, rdcn::ClockPlan::none()),
+            run_once(variant, 1),
+            "inert clock plan perturbed the clean digest: variant={variant:?}"
+        );
+    }
+}
+
+/// Skewed runs shard like clean ones: mapping a (variant, seed) grid
+/// through `par_map_jobs` under any job count reproduces the serial
+/// digests exactly — per-host clock state lives inside each run, so
+/// worker scheduling can never leak into the time plane.
+#[test]
+fn skewed_sweep_matches_serial_digests() {
+    let grid: Vec<(Variant, u64)> = [Variant::Tdtcp, Variant::Cubic]
+        .into_iter()
+        .flat_map(|v| (0u64..4).map(move |seed| (v, seed)))
+        .collect();
+    let serial: Vec<u64> = grid
+        .iter()
+        .map(|&(v, s)| run_skewed(v, s, busy_clock_plan()))
+        .collect();
+    for jobs in [1, 2, 4] {
+        let sharded = simcore::par::par_map_jobs(jobs, grid.clone(), |_, (v, s)| {
+            run_skewed(v, s, busy_clock_plan())
+        });
+        assert_eq!(
+            sharded, serial,
+            "sharded skewed digests diverged from serial at jobs={jobs}"
+        );
+    }
+}
+
 /// Per-connection half of the guarantee: a scripted TDTCP connection
 /// driven twice through the same notification/ACK/timer sequence lands
 /// on identical stats digests at every step (not just at the end).
