@@ -6,7 +6,7 @@
 use bench::{Variant, Workload};
 use rdcn::voq::{Voq, VoqConfig};
 use rdcn::NetConfig;
-use simcore::{EventQueue, SimTime};
+use simcore::{EventQueue, SimDuration, SimTime, TimerWheel};
 use tcp::recv::Reassembler;
 use tcp::rtx::{RtxQueue, TxSeg};
 use tcp::{Direction, FlowId, Segment, SeqNum};
@@ -14,41 +14,77 @@ use testkit::bench::BenchConfig;
 use testkit::BenchSuite;
 use wire::TdnId;
 
-fn bench_event_queue(suite: &mut BenchSuite) {
-    suite.bench("event_queue_push_pop_1k", || {
-        let mut q = EventQueue::new();
-        for i in 0..1000u64 {
-            q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i);
-        }
-        let mut acc = 0u64;
-        while let Some((_, v)) = q.pop() {
-            acc = acc.wrapping_add(v);
-        }
-        acc
-    });
+/// Head-to-head queue microbenches: the same three workloads run
+/// against [`EventQueue`] (slab-backed binary heap) and [`TimerWheel`]
+/// (hierarchical wheel over the same slab). The winner of this race is
+/// what `simcore::DefaultQueue` aliases; see DESIGN.md §13.
+macro_rules! bench_queue_family {
+    ($suite:expr, $prefix:literal, $new:expr) => {
+        $suite.bench(concat!($prefix, "_push_pop_1k"), || {
+            let mut q = $new;
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+        // Timer churn: every flush cancels and re-arms a host timer, so
+        // the cancel path is as hot as schedule/pop in real runs.
+        $suite.bench(concat!($prefix, "_cancel_rearm_1k"), || {
+            let mut q = $new;
+            let mut ids = Vec::with_capacity(1000);
+            for i in 0..1000u64 {
+                ids.push(q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i));
+            }
+            for id in ids.iter().step_by(2) {
+                q.cancel(*id);
+            }
+            for i in 0..500u64 {
+                q.schedule(SimTime::from_nanos(300_000 + i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        });
+        // Drain-heavy mix: the sharded engine's inner loop — pop
+        // everything below a window edge with `pop_before`, refill with
+        // a couple of near-future events per pop (deliver + rearm), and
+        // advance the window. Dominated by pops, like real windows.
+        $suite.bench(concat!($prefix, "_drain_windows_4k"), || {
+            let mut q = $new;
+            let mut seed = 0x9e37u64;
+            for i in 0..512u64 {
+                q.schedule(SimTime::from_nanos((i * 6151) % 20_000), i);
+            }
+            let mut acc = 0u64;
+            let mut popped = 0u32;
+            let mut w_end = SimTime::from_nanos(5_000);
+            while popped < 4096 {
+                while let Some((now, v)) = q.pop_before(w_end) {
+                    acc = acc.wrapping_add(v);
+                    popped += 1;
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    // One rearm per pop until the tail, so the queue
+                    // drains to empty exactly at 4096 pops.
+                    if popped <= 3584 {
+                        q.schedule(now + SimDuration::from_nanos(seed % 9_000 + 1), v + 1);
+                    }
+                }
+                w_end += SimDuration::from_nanos(5_000);
+            }
+            acc
+        });
+    };
 }
 
-fn bench_event_queue_cancel(suite: &mut BenchSuite) {
-    // Timer churn: every flush cancels and re-arms a host timer, so the
-    // cancel path is as hot as schedule/pop in real runs.
-    suite.bench("event_queue_cancel_rearm_1k", || {
-        let mut q = EventQueue::new();
-        let mut ids = Vec::with_capacity(1000);
-        for i in 0..1000u64 {
-            ids.push(q.schedule(SimTime::from_nanos((i * 7919) % 100_000 + 100_000), i));
-        }
-        for id in ids.iter().step_by(2) {
-            q.cancel(*id);
-        }
-        for i in 0..500u64 {
-            q.schedule(SimTime::from_nanos(300_000 + i), i);
-        }
-        let mut acc = 0u64;
-        while let Some((_, v)) = q.pop() {
-            acc = acc.wrapping_add(v);
-        }
-        acc
-    });
+fn bench_queues(suite: &mut BenchSuite) {
+    bench_queue_family!(suite, "event_queue", EventQueue::new());
+    bench_queue_family!(suite, "timer_wheel", TimerWheel::new());
 }
 
 fn bench_voq(suite: &mut BenchSuite) {
@@ -146,8 +182,7 @@ fn bench_emulator(suite: &mut BenchSuite) {
 
 fn main() {
     let mut suite = BenchSuite::new("simulator");
-    bench_event_queue(&mut suite);
-    bench_event_queue_cancel(&mut suite);
+    bench_queues(&mut suite);
     bench_voq(&mut suite);
     bench_rtx_queue(&mut suite);
     bench_reassembler(&mut suite);

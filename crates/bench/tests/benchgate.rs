@@ -1,0 +1,116 @@
+//! The `benchgate` binary's gate semantics, exercised end to end: a
+//! candidate matching the baseline passes, small noise passes, and a
+//! seeded >25% events/sec regression, a vanished benchmark, or an
+//! unreadable baseline each force a non-zero exit. The failure path
+//! itself is under test — a gate that cannot fail is not a gate.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// One testkit `BENCH_*.json`-shaped suite with the given
+/// (name, median ns/iter) rows.
+fn suite(rows: &[(&str, f64)]) -> String {
+    let mut out =
+        String::from("{\n  \"suite\": \"simulator\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (i, (name, median)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"iters_per_trial\": 64, \"trials\": 20, \
+             \"min\": {median:.2}, \"mean\": {median:.2}, \"median\": {median:.2}, \
+             \"p95\": {median:.2}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `content` under the cargo-managed integration-test tmpdir and
+/// return the path.
+fn write_tmp(name: &str, content: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("create tmpdir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write suite file");
+    path
+}
+
+/// Run the built `benchgate` against the two files; return success flag.
+fn gate(baseline: &PathBuf, candidate: &PathBuf, extra: &[&str]) -> bool {
+    Command::new(env!("CARGO_BIN_EXE_benchgate"))
+        .arg(baseline)
+        .arg(candidate)
+        .args(extra)
+        .status()
+        .expect("run benchgate")
+        .success()
+}
+
+const BASE: &[(&str, f64)] = &[
+    ("event_queue_push_pop_1k", 21000.0),
+    ("bigrun_sharded_w4", 260.0),
+];
+
+#[test]
+fn identical_candidate_passes() {
+    let b = write_tmp("bg_base_ok.json", &suite(BASE));
+    let c = write_tmp("bg_cand_ok.json", &suite(BASE));
+    assert!(gate(&b, &c, &[]), "identical candidate must pass");
+}
+
+#[test]
+fn small_noise_passes() {
+    // +20% ns/iter is a 16.7% events/sec loss — inside the 25% budget.
+    let b = write_tmp("bg_base_noise.json", &suite(BASE));
+    let c = write_tmp(
+        "bg_cand_noise.json",
+        &suite(&[("event_queue_push_pop_1k", 25200.0), ("bigrun_sharded_w4", 290.0)]),
+    );
+    assert!(gate(&b, &c, &[]), "sub-threshold noise must pass");
+}
+
+#[test]
+fn seeded_regression_fails() {
+    // 21000 → 29000 ns/iter is a 27.6% events/sec loss — over budget.
+    let b = write_tmp("bg_base_reg.json", &suite(BASE));
+    let c = write_tmp(
+        "bg_cand_reg.json",
+        &suite(&[("event_queue_push_pop_1k", 29000.0), ("bigrun_sharded_w4", 260.0)]),
+    );
+    assert!(!gate(&b, &c, &[]), "a >25% events/sec loss must fail the gate");
+}
+
+#[test]
+fn threshold_is_configurable() {
+    // The same regression passes when the budget is raised to 50%.
+    let b = write_tmp("bg_base_thresh.json", &suite(BASE));
+    let c = write_tmp(
+        "bg_cand_thresh.json",
+        &suite(&[("event_queue_push_pop_1k", 29000.0), ("bigrun_sharded_w4", 260.0)]),
+    );
+    assert!(gate(&b, &c, &["--max-loss-pct", "50"]));
+    assert!(!gate(&b, &c, &["--max-loss-pct", "10"]));
+}
+
+#[test]
+fn missing_row_fails_and_new_row_passes() {
+    let b = write_tmp("bg_base_rows.json", &suite(BASE));
+    let gone = write_tmp(
+        "bg_cand_gone.json",
+        &suite(&[("event_queue_push_pop_1k", 21000.0)]),
+    );
+    assert!(
+        !gate(&b, &gone, &[]),
+        "deleting a bench must not silently retire its baseline"
+    );
+    let mut extended: Vec<(&str, f64)> = BASE.to_vec();
+    extended.push(("timer_wheel_push_pop_1k", 23000.0));
+    let more = write_tmp("bg_cand_more.json", &suite(&extended));
+    assert!(gate(&b, &more, &[]), "a brand-new bench needs no baseline yet");
+}
+
+#[test]
+fn unreadable_baseline_fails() {
+    let missing = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bg_nope.json");
+    let c = write_tmp("bg_cand_unread.json", &suite(BASE));
+    assert!(!gate(&missing, &c, &[]), "an unreadable baseline must fail, not pass");
+}

@@ -418,7 +418,7 @@ impl TdtcpConnection {
     /// shared retransmission queue ("specific TDN" accounting, §4.3).
     pub fn pipe_bytes(&self, tdn: TdnId) -> u32 {
         self.rtx
-            .counts_where(|s| self.state_index(s.tdn) == self.state_index(tdn))
+            .counts_tdn(|t| self.state_index(t) == self.state_index(tdn))
             .pipe()
             .saturating_mul(self.cfg.tcp.mss)
     }
@@ -941,7 +941,7 @@ impl TdtcpConnection {
             }
             let flight = self
                 .rtx
-                .counts_where(|s| self.state_index(s.tdn) == idx)
+                .counts_tdn(|t| self.state_index(t) == idx)
                 .pipe()
                 .saturating_mul(self.cfg.tcp.mss);
             let in_recovery = self.tdns[idx].in_recovery();
@@ -976,10 +976,14 @@ impl TdtcpConnection {
         let Some(high_sacked) = self.rtx.highest_sacked() else {
             return;
         };
-        let hole_exists = self
-            .rtx
-            .iter()
-            .any(|s| !s.sacked && s.seq.before(high_sacked));
+        // Fast path: an unsacked head below a SACKed segment is a hole.
+        let hole_exists = match self.rtx.front() {
+            Some(f) if !f.sacked => true,
+            _ => self
+                .rtx
+                .iter()
+                .any(|s| !s.sacked && s.seq.before(high_sacked)),
+        };
         if !hole_exists {
             return;
         }
@@ -1086,9 +1090,9 @@ impl TdtcpConnection {
             if *hit && !self.tdns[idx].in_recovery() {
                 let flight = self
                     .rtx
-                    .counts_where(|s| {
+                    .counts_tdn(|t| {
                         if self.cfg.per_tdn_state && !self.downgraded && !self.degraded {
-                            s.tdn.index().min(self.tdns.len() - 1) == idx
+                            t.index().min(self.tdns.len() - 1) == idx
                         } else {
                             true
                         }
@@ -1253,7 +1257,7 @@ impl TdtcpConnection {
         // Pacing wake-up: only relevant while there is something to send.
         if self.cfg.tcp.pacing
             && self.next_paced_at > SimTime::ZERO
-            && (self.bytes_unsent > 0 || self.rtx.iter().any(|s| s.wants_retransmit()))
+            && (self.bytes_unsent > 0 || self.rtx.has_retransmit())
         {
             t = match t {
                 None => Some(self.next_paced_at),
@@ -1299,12 +1303,14 @@ impl TdtcpConnection {
         let cur = self.current;
         let rcv = self.rx.as_ref().map(|r| r.rcv_nxt());
         let tagging = self.is_tdtcp();
-        if let Some(s) = self.rtx.last_unsacked() {
-            let mut out = Self::segment_from_txseg(flow, dir, s);
+        if let Some(mut out) = self.rtx.with_last_unsacked(|s| {
+            let out = Self::segment_from_txseg(flow, dir, s);
             s.tx_time = now;
             s.tdn = cur; // probes travel the active TDN
             s.retx_count += 1;
             s.retx_in_flight = true;
+            out
+        }) {
             out.ack = rcv.unwrap_or(SeqNum::ZERO);
             out.flags.ack = rcv.is_some();
             if tagging {
@@ -1390,7 +1396,7 @@ impl TdtcpConnection {
     }
 
     fn fin_is_queued(&self) -> bool {
-        self.fin_acked || self.rtx.iter().any(|s| s.is_fin)
+        self.fin_acked || self.rtx.has_fin()
     }
 
     /// Record the pacing release point after transmitting `seg`: the next
@@ -1453,12 +1459,14 @@ impl TdtcpConnection {
             let cur = self.current;
             let rcv = self.rx.as_ref().map(|r| r.rcv_nxt());
             let tagging = self.is_tdtcp();
-            if let Some(s) = self.rtx.next_retransmit() {
-                let mut out = Self::segment_from_txseg(flow, dir, s);
+            if let Some(mut out) = self.rtx.with_next_retransmit(|s| {
+                let out = Self::segment_from_txseg(flow, dir, s);
                 s.tx_time = now;
                 s.tdn = cur;
                 s.retx_count += 1;
                 s.retx_in_flight = true;
+                out
+            }) {
                 out.ack = rcv.unwrap_or(SeqNum::ZERO);
                 out.flags.ack = rcv.is_some();
                 if tagging {

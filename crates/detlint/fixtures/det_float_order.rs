@@ -1,0 +1,26 @@
+// Fixture: det_float_order fires on float accumulation in functions
+// touching unordered sources, even when the unordered_iter finding
+// itself is annotated away as membership-only.
+
+fn skewed_mean(weights: &std::collections::HashMap<u32, f64>) -> f64 { // detlint: allow(unordered_iter) — fixture
+    weights.values().sum::<f64>() / weights.len() as f64
+}
+
+fn folded(weights: &std::collections::HashSet<u64>) -> f64 { // detlint: allow(unordered_iter) — fixture
+    weights.iter().fold(0.0, |acc, w| acc + *w as f64)
+}
+
+fn annotated(weights: &std::collections::HashMap<u32, f64>) -> f64 { // detlint: allow(unordered_iter) — fixture
+    // detlint: allow(det_float_order) — fixture: single-element map, order unobservable
+    weights.values().sum::<f64>()
+}
+
+// Ordered sources never fire: an integer sum over the same map is
+// associative, and a float sum over a Vec pops in index order.
+fn clean_int(weights: &std::collections::HashMap<u32, u64>) -> u64 { // detlint: allow(unordered_iter) — fixture
+    weights.values().sum::<u64>()
+}
+
+fn clean_vec(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() + xs.iter().fold(0.0, |a, b| a + b)
+}

@@ -17,6 +17,8 @@ pub enum RuleId {
     LayerDeps,
     /// A pub counter missing from its struct's `write_digest` fold.
     DigestCoverage,
+    /// Float accumulation over a nondeterministically ordered source.
+    DetFloatOrder,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
     /// A `detlint: allow` directive without a written reason.
@@ -32,6 +34,7 @@ impl RuleId {
             RuleId::AmbientRng => "ambient_rng",
             RuleId::LayerDeps => "layer_deps",
             RuleId::DigestCoverage => "digest_coverage",
+            RuleId::DetFloatOrder => "det_float_order",
             RuleId::ForbidUnsafe => "forbid_unsafe",
             RuleId::BadSuppression => "bad_suppression",
         }

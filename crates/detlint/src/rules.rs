@@ -18,6 +18,15 @@
 //!   test code.
 //! * `forbid_unsafe` — every crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//! * `det_float_order` — float accumulation (`.sum::<f32/f64>()`,
+//!   `.product::<…>()`, or a `fold` seeded with a float literal) inside
+//!   a function that also touches a nondeterministically ordered source
+//!   (`HashMap`/`HashSet` — even when its `unordered_iter` finding is
+//!   annotated away as membership-only — `par_iter`-style parallel
+//!   iteration, or `read_dir`). Float addition is not associative, so
+//!   the same multiset of terms summed in two different orders can give
+//!   two different digests; collect into an ordered `Vec` (or sort)
+//!   before folding.
 //! * `digest_coverage` — for any struct with pub counter-typed fields
 //!   (`u64`, `i64`, `u32`) and a same-file `write_digest` method, every
 //!   counter must appear in the fold. This is the counter-omission bug
@@ -124,6 +133,7 @@ pub fn check_file(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
         });
     }
 
+    findings.extend(det_float_order(ctx, tokens));
     findings.extend(digest_coverage(ctx, tokens));
     findings
 }
@@ -209,6 +219,107 @@ fn digest_coverage(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
                 });
             }
         }
+    }
+    findings
+}
+
+/// Sources whose iteration order is not a pure function of the data.
+fn is_nondet_order_source(name: &str) -> bool {
+    matches!(
+        name,
+        "HashMap" | "HashSet" | "par_iter" | "into_par_iter" | "par_bridge" | "read_dir"
+    )
+}
+
+/// Is the `IntLit` at `i` the start of a float literal (`0.25`, `1f64`,
+/// `3e2`)? The lexer leaves `.` as punctuation, so `0.25` arrives as
+/// `IntLit(0) . IntLit(25)`.
+fn float_literal_at(tokens: &[Token], i: usize) -> bool {
+    let Some(Tok::IntLit(text)) = tokens.get(i).map(|t| &t.kind) else {
+        return false;
+    };
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent form without a dot (1e9) — but not hex (0x1e9).
+    if !text.starts_with("0x") && text.contains(['e', 'E']) {
+        return true;
+    }
+    matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('.')))
+        && matches!(tokens.get(i + 2).map(|t| &t.kind), Some(Tok::IntLit(_)))
+}
+
+/// det_float_order: inside each `fn` (signature through body), if a
+/// nondeterministically ordered source appears anywhere, flag every
+/// float accumulation site. Function granularity on purpose: the value
+/// iterated is usually a parameter or local whose unordered type is
+/// only visible tokens away from the fold itself.
+fn det_float_order(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if ident(&tokens[i]) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Span the signature to the body's opening brace, then the
+        // balanced body. `fn f();` (trait methods) has no body.
+        let start = i;
+        let mut j = i + 1;
+        while j < tokens.len()
+            && !matches!(tokens[j].kind, Tok::Punct('{') | Tok::Punct(';'))
+        {
+            j += 1;
+        }
+        if !matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('{'))) {
+            i = j;
+            continue;
+        }
+        let mut depth = 1usize;
+        j += 1;
+        while j < tokens.len() && depth > 0 {
+            match tokens[j].kind {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &tokens[start..j];
+        if body.iter().any(|t| ident(t).is_some_and(is_nondet_order_source)) {
+            for (k, t) in body.iter().enumerate() {
+                let site = match ident(t) {
+                    // .sum::<f32>() / .product::<f64>()
+                    Some(acc @ ("sum" | "product"))
+                        if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+                            && matches!(body.get(k + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+                            && matches!(body.get(k + 3).map(|t| &t.kind), Some(Tok::Punct('<')))
+                            && matches!(body.get(k + 4).and_then(ident), Some("f32" | "f64")) =>
+                    {
+                        Some(acc)
+                    }
+                    // .fold(0.0, …) / .fold(0f64, …)
+                    Some("fold")
+                        if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct('(')))
+                            && float_literal_at(body, k + 2) =>
+                    {
+                        Some("fold")
+                    }
+                    _ => None,
+                };
+                if let Some(acc) = site {
+                    findings.push(Finding {
+                        rule: RuleId::DetFloatOrder,
+                        file: ctx.rel_path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "float `{acc}` in a function touching a nondeterministically                              ordered source; float addition is not associative — collect                              into an ordered Vec (or sort) before accumulating"
+                        ),
+                    });
+                }
+            }
+        }
+        i = j.max(start + 1);
     }
     findings
 }

@@ -69,6 +69,22 @@ fn ambient_rng_is_relaxed_in_test_paths() {
 }
 
 #[test]
+fn det_float_order_fires_and_suppresses() {
+    let src = include_str!("../fixtures/det_float_order.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("det_float_order", 6), ("det_float_order", 10)],
+        "float sum/fold over annotated hash collections still fire; \
+         the det_float_order-annotated site, integer folds, and \
+         Vec-ordered float folds do not"
+    );
+    assert!(findings[0].message.contains("not associative"));
+    // 4 unordered_iter (one per annotated hash param) + 1 det_float_order.
+    assert_eq!(suppressed, 5);
+}
+
+#[test]
 fn digest_coverage_reports_unfolded_counters() {
     let src = include_str!("../fixtures/digest_coverage.rs");
     let (findings, suppressed) = check_rust_source("crates/demo/src/stats.rs", src);

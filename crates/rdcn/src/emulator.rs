@@ -24,7 +24,7 @@ use wire::TdnId;
 /// impairments. The fixed mask keeps corruption deterministic; the guard
 /// against a zero result preserves the "0 = unstamped" sentinel so a
 /// mangled stamp can never masquerade as an unstamped segment.
-fn mangle_csum(c: u32) -> u32 {
+pub(crate) fn mangle_csum(c: u32) -> u32 {
     let m = c ^ 0x5A5A_5A5A;
     if m == 0 { 1 } else { m }
 }

@@ -20,6 +20,7 @@ pub mod impair;
 pub mod multirack;
 pub mod notify;
 pub mod schedule;
+pub mod shard;
 pub mod statfold;
 pub mod voq;
 
@@ -41,5 +42,6 @@ pub use impair::{
 pub use multirack::{MultiRackConfig, MultiRackEmulator, MultiRackResult, PairFlow};
 pub use notify::{NotifyConfig, NotifyModel, NotifySample};
 pub use schedule::{Phase, Schedule};
+pub use shard::{ShardConfig, ShardResult, ShardedEmulator, RACK_STREAM_BASE};
 pub use statfold::{InjectorStats, LogEvent, LOG_CAP};
 pub use voq::{Voq, VoqConfig};

@@ -1,0 +1,1101 @@
+//! Rack-sharded multirack engine: intra-run parallelism with
+//! bit-identical output at any worker count (DESIGN.md §13).
+//!
+//! [`crate::MultiRackEmulator`] runs one serial event loop over the
+//! whole fabric. This engine partitions the same fabric *by rack*: each
+//! rack shard owns a private event queue ([`simcore::DefaultQueue`]),
+//! its own forked RNG and chaos injectors, the transports resident in
+//! that rack, its ToR VOQ row, and its EPS/circuit/NIC port state. The
+//! only inter-rack traffic is segment delivery, and every wire between
+//! racks has a one-way latency of at least the *lookahead*
+//! `L = min(packet.one_way, circuit.one_way)` — so all shards can
+//! safely simulate a window `[w, min(w + L, next schedule edge))`
+//! in parallel (conservative-lookahead PDES), exchanging the segments
+//! they emitted through per-rack mailboxes drained at the window
+//! barrier in fixed rack order.
+//!
+//! Determinism: a shard's window work depends only on its own state and
+//! its deterministic queue, so the mailbox contents are identical at
+//! any worker count; the single-threaded barrier drains them in
+//! (source rack, emission order), and the destination queue's FIFO
+//! tie-break makes the merged order total. Every reduction at the end
+//! folds in fixed rack order. `run(.., workers)` therefore produces a
+//! bit-identical [`ShardResult::stats_digest`] for workers 1, 2, 4, …
+//! — pinned by `tests/determinism.rs`.
+//!
+//! The serial hot path is rebuilt relative to the old engine (these are
+//! deliberate semantic differences, not bugs — this engine defines its
+//! own digest):
+//! * **service trains**: one `CircuitService`/`PacketService` event
+//!   launches every already-queued eligible segment back-to-back up to
+//!   the window end, with analytic launch times, instead of one event
+//!   per segment (window ends are worker-count independent, so trains
+//!   are too);
+//! * **lazy struct-of-arrays timers**: per-host `deadline`/`armed`/
+//!   `gen` arrays replace cancel/reschedule churn — moving a timer
+//!   *later* is a plain array write, and a stale fire rearms from the
+//!   array;
+//! * **single-side flush**: delivering to a host flushes that host
+//!   only (the old engine conservatively polled both flow endpoints);
+//! * **batched delivery**: same-instant segments to one host arrive as
+//!   one event.
+//!
+//! Chaos planes: notification faults (`notify_loss`/`extra_delay`/
+//! `duplicate`), EPS transit bursts (`eps_burst`), the full data-path
+//! impairment set, and per-host clock skew all run per rack on streams
+//! forked from the rack's RNG. Day-fate faults (`link_failure`,
+//! `freeze`) are two-rack-emulator concepts and are rejected at
+//! construction.
+
+use crate::faults::{EpsVerdict, FaultInjector, FaultPlan, NotifyVerdict, FAULT_STREAM_LABEL};
+use crate::impair::{ImpairInjector, ImpairPlan, ImpairVerdict, IMPAIR_STREAM_LABEL};
+use crate::clock::{ClockInjector, ClockPlan, ClockVerdict, CLOCK_STREAM_LABEL};
+use crate::config::TdnParams;
+use crate::multirack::{MultiRackConfig, PairFlow};
+use crate::notify::NotifyModel;
+use crate::schedule::{rotor, Schedule};
+use crate::voq::Voq;
+use simcore::{par, DefaultQueue, DetRng, SimDuration, SimTime};
+use tcp::{ConnStats, Direction, Segment, Transport};
+use testkit::Digest;
+use wire::TdnId;
+
+/// Label base for forking one RNG stream per rack off the run seed;
+/// rack `r` uses `DetRng::new(seed).fork(RACK_STREAM_BASE + r)`, and
+/// the rack's injectors fork their own streams off that.
+pub const RACK_STREAM_BASE: u64 = 0x5AAD_0000;
+
+/// Configuration of a sharded multirack run: the fabric plus one plan
+/// per chaos plane (all [`inert`](FaultPlan::none) by default).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// The fabric (racks, link parameters, schedule, VOQ, notify, seed).
+    pub net: MultiRackConfig,
+    /// Control-plane notification / EPS-burst faults. `link_failure`
+    /// and `freeze` must be `None` (two-rack emulator concepts).
+    pub faults: FaultPlan,
+    /// Data-path impairments applied per launched segment.
+    pub impair: ImpairPlan,
+    /// Per-host clock skew; hosts are numbered rack-locally.
+    pub clock: ClockPlan,
+    /// Skew absorbed at slot edges before the clock plan's slot-edge
+    /// policy applies.
+    pub guard_band: SimDuration,
+}
+
+impl ShardConfig {
+    /// A clean (all-chaos-inert) run over `net`.
+    pub fn clean(net: MultiRackConfig) -> ShardConfig {
+        ShardConfig {
+            net,
+            faults: FaultPlan::none(),
+            impair: ImpairPlan::none(),
+            clock: ClockPlan::none(),
+            guard_band: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Where each endpoint of a flow lives: racks and rack-local host ids.
+#[derive(Debug, Clone, Copy)]
+struct FlowSeat {
+    src_rack: u32,
+    dst_rack: u32,
+    /// Sender's host index within `src_rack`.
+    s_local: u32,
+    /// Receiver's host index within `dst_rack`.
+    r_local: u32,
+}
+
+/// One or more segments arriving at the same host at the same instant.
+enum SegBatch {
+    One(Segment),
+    Many(Vec<Segment>),
+}
+
+impl SegBatch {
+    fn len(&self) -> usize {
+        match self {
+            SegBatch::One(_) => 1,
+            SegBatch::Many(v) => v.len(),
+        }
+    }
+}
+
+/// Rack-local events. Cross-rack arrivals enter as `Deliver` via the
+/// window barrier; everything else is scheduled and consumed by the
+/// same shard.
+enum REv {
+    Deliver { host: u32, segs: SegBatch },
+    Enqueue { dst: u32, seg: Segment },
+    CircuitService,
+    PacketService,
+    DayStart { day: u64 },
+    NightStart { day: u64 },
+    Notify { host: u32, tdn: TdnId, gen: u64 },
+    HostTimer { host: u32, tgen: u32 },
+}
+
+/// One segment waiting in a shard's outbox: `(arrival time, destination
+/// rack, destination host, segment)`, in emission order.
+type OutMsg = (SimTime, u32, u32, Segment);
+
+/// One rack's complete simulation state.
+struct RackShard<'a> {
+    r: usize,
+    racks: usize,
+    q: DefaultQueue<REv>,
+    rng: DetRng,
+    notify_model: NotifyModel,
+    faults: FaultInjector,
+    impair: ImpairInjector,
+    clock: ClockInjector,
+    /// Synthetic schedule handed to the clock plane (`on_send` only
+    /// consults day numbering, which needs just the day/night lengths).
+    sched: Schedule,
+    guard_band: SimDuration,
+    matchings: Vec<Vec<(usize, usize)>>,
+    packet: TdnParams,
+    circuit: TdnParams,
+    host_rate_bps: u64,
+    day_len: SimDuration,
+    night_len: SimDuration,
+
+    /// Current OCS peer of this rack (None during nights).
+    peer: Option<usize>,
+    /// voqs[dst]: per-destination queue at this rack's ToR.
+    voqs: Vec<Voq>,
+    eps_busy_until: SimTime,
+    eps_pending: bool,
+    eps_rr: usize,
+    circuit_busy_until: SimTime,
+    circuit_pending: bool,
+    nic_free: SimTime,
+
+    /// Where every flow's endpoints live (shared copy; indexed by the
+    /// global flow id carried in each segment).
+    seats: Vec<FlowSeat>,
+    /// Resident transports, in global flow order (a flow's sender if it
+    /// sources here, its receiver if it sinks here — never both).
+    hosts: Vec<Box<dyn Transport + Send + 'a>>,
+    /// SoA per-host hot state, parallel to `hosts`: global flow id,
+    /// sender side, flow src/dst racks, and the lazy timer triple.
+    hflow: Vec<u32>,
+    hsend: Vec<bool>,
+    /// Next deadline wanted by the host (`SimTime::MAX` = none).
+    tdeadline: Vec<SimTime>,
+    /// Earliest time a live `HostTimer` event will fire (`MAX` = none).
+    tarmed: Vec<SimTime>,
+    /// Generation guard: a fired event with a stale generation is a
+    /// no-op, which is what lets timer *postponement* cost zero queue
+    /// operations.
+    tgen: Vec<u32>,
+
+    hdone: Vec<bool>,
+    completion: Vec<Option<SimTime>>,
+    n_senders: usize,
+    done_count: usize,
+
+    outbox: Vec<OutMsg>,
+    /// Exclusive end of the window this shard may simulate.
+    w_end: SimTime,
+    /// Train/batch segments beyond the event that carried them — added
+    /// to the queue's pop count to keep `events` comparable with the
+    /// one-event-per-segment serial engine.
+    extra_events: u64,
+}
+
+/// The sharded N-rack emulator. Construct with [`ShardedEmulator::new`],
+/// then [`run`](ShardedEmulator::run).
+pub struct ShardedEmulator<'a> {
+    shards: Vec<std::sync::Mutex<RackShard<'a>>>,
+    flows: Vec<PairFlow>,
+    lookahead: SimDuration,
+    day_len: SimDuration,
+    night_len: SimDuration,
+}
+
+/// Results of a sharded multirack run.
+#[derive(Debug)]
+pub struct ShardResult {
+    /// Per-flow sender stats, in global flow order.
+    pub sender_stats: Vec<ConnStats>,
+    /// Per-flow receiver stats.
+    pub receiver_stats: Vec<ConnStats>,
+    /// Per-flow sender completion time (first barrier-visible event at
+    /// which the sender reported done), `None` if unfinished.
+    pub completions: Vec<Option<SimTime>>,
+    /// Whether each flow's sender aborted with a connection error.
+    pub sender_errors: Vec<bool>,
+    /// Tail drops summed over all VOQs.
+    pub drops: u64,
+    /// CE marks summed over all VOQs.
+    pub ce_marks: u64,
+    /// Logical events processed: queue pops plus train/batch segments
+    /// beyond the first, summed over racks.
+    pub events: u64,
+    /// Logical events per rack — `max/mean` of this is the shard
+    /// imbalance the bigrun benchmark reports.
+    pub rack_events: Vec<u64>,
+    /// Control-plane fault events applied (summed over racks).
+    pub faults_total: u64,
+    /// Data-path impairments applied (summed over racks).
+    pub impairments_total: u64,
+    /// Time-plane effects applied (summed over racks).
+    pub clock_total: u64,
+    /// Per-rack fault log digests, in rack order.
+    pub fault_log_digests: Vec<u64>,
+    /// Per-rack impairment log digests, in rack order.
+    pub impair_log_digests: Vec<u64>,
+    /// Per-rack clock log digests, in rack order.
+    pub clock_log_digests: Vec<u64>,
+    /// Simulated duration (max over racks).
+    pub duration: SimDuration,
+}
+
+impl ShardResult {
+    /// Aggregate acknowledged bytes.
+    pub fn total_acked(&self) -> u64 {
+        self.sender_stats.iter().map(|s| s.bytes_acked).sum()
+    }
+
+    /// Peak shard imbalance: max rack event count over the mean
+    /// (1.0 = perfectly balanced). Racks with no events count toward
+    /// the mean.
+    pub fn peak_imbalance(&self) -> f64 {
+        let n = self.rack_events.len();
+        if n == 0 || self.events == 0 {
+            return 1.0;
+        }
+        let mean = self.events as f64 / n as f64;
+        let max = self.rack_events.iter().copied().max().unwrap_or(0) as f64;
+        max / mean
+    }
+
+    /// Fold every counter into `d` in declaration order.
+    pub fn write_digest(&self, d: &mut Digest) {
+        d.write_u64(self.drops)
+            .write_u64(self.ce_marks)
+            .write_u64(self.events)
+            .write_u64(self.faults_total)
+            .write_u64(self.impairments_total)
+            .write_u64(self.clock_total);
+        for v in &self.rack_events {
+            d.write_u64(*v);
+        }
+        for v in &self.fault_log_digests {
+            d.write_u64(*v);
+        }
+        for v in &self.impair_log_digests {
+            d.write_u64(*v);
+        }
+        for v in &self.clock_log_digests {
+            d.write_u64(*v);
+        }
+        d.write_u64(self.duration.as_nanos());
+    }
+
+    /// Digest over everything observable in the result, folded in fixed
+    /// order — the object of the worker-count invariance property.
+    pub fn stats_digest(&self) -> u64 {
+        let mut d = Digest::new();
+        d.write_usize(self.sender_stats.len());
+        for s in &self.sender_stats {
+            s.write_digest(&mut d);
+        }
+        for s in &self.receiver_stats {
+            s.write_digest(&mut d);
+        }
+        for c in &self.completions {
+            d.write_bool(c.is_some());
+            d.write_u64(c.map_or(0, |t| t.as_nanos()));
+        }
+        for e in &self.sender_errors {
+            d.write_bool(*e);
+        }
+        self.write_digest(&mut d);
+        d.finish()
+    }
+}
+
+impl<'a> ShardedEmulator<'a> {
+    /// Create the sharded fabric with one (sender, receiver) pair per
+    /// flow. Transports must be `Send`: shards migrate across worker
+    /// threads between windows.
+    pub fn new(
+        cfg: ShardConfig,
+        flows: Vec<PairFlow>,
+        mut factory: impl FnMut(
+            usize,
+            &PairFlow,
+        ) -> (Box<dyn Transport + Send + 'a>, Box<dyn Transport + Send + 'a>),
+    ) -> Self {
+        let net = &cfg.net;
+        assert!(net.racks >= 2 && net.racks.is_multiple_of(2));
+        for f in &flows {
+            assert!(f.src != f.dst && f.src < net.racks && f.dst < net.racks);
+        }
+        assert!(
+            cfg.faults.link_failure.is_none() && cfg.faults.freeze.is_none(),
+            "day-fate faults (link_failure/freeze) are not modeled by the sharded engine"
+        );
+        let lookahead = net.packet.one_way.min(net.circuit.one_way);
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "conservative lookahead needs a positive minimum one-way latency"
+        );
+        let matchings = rotor::matchings(net.racks);
+        let sched = Schedule {
+            day_len: net.day_len,
+            night_len: net.night_len,
+            days: vec![TdnId(1); net.racks - 1],
+        };
+
+        // Seat every flow's endpoints: rack-local host ids in global
+        // flow order.
+        let mut next_local = vec![0u32; net.racks];
+        let seats: Vec<FlowSeat> = flows
+            .iter()
+            .map(|f| {
+                let s_local = next_local[f.src];
+                next_local[f.src] += 1;
+                let r_local = next_local[f.dst];
+                next_local[f.dst] += 1;
+                FlowSeat {
+                    src_rack: f.src as u32,
+                    dst_rack: f.dst as u32,
+                    s_local,
+                    r_local,
+                }
+            })
+            .collect();
+
+        let mut shards: Vec<RackShard<'a>> = (0..net.racks)
+            .map(|r| {
+                let rng = DetRng::new(net.seed).fork(RACK_STREAM_BASE + r as u64);
+                RackShard {
+                    r,
+                    racks: net.racks,
+                    q: DefaultQueue::new(),
+                    faults: FaultInjector::new(cfg.faults.clone(), rng.fork(FAULT_STREAM_LABEL)),
+                    impair: ImpairInjector::new(cfg.impair.clone(), rng.fork(IMPAIR_STREAM_LABEL)),
+                    clock: ClockInjector::new(cfg.clock.clone(), rng.fork(CLOCK_STREAM_LABEL)),
+                    rng,
+                    notify_model: NotifyModel::new(net.notify),
+                    sched: sched.clone(),
+                    guard_band: cfg.guard_band,
+                    matchings: matchings.clone(),
+                    packet: net.packet,
+                    circuit: net.circuit,
+                    host_rate_bps: net.host_rate_bps,
+                    day_len: net.day_len,
+                    night_len: net.night_len,
+                    peer: None,
+                    voqs: (0..net.racks).map(|_| Voq::untraced(net.voq)).collect(),
+                    eps_busy_until: SimTime::ZERO,
+                    eps_pending: false,
+                    eps_rr: 0,
+                    circuit_busy_until: SimTime::ZERO,
+                    circuit_pending: false,
+                    nic_free: SimTime::ZERO,
+                    seats: seats.clone(),
+                    hosts: Vec::new(),
+                    hflow: Vec::new(),
+                    hsend: Vec::new(),
+                    tdeadline: Vec::new(),
+                    tarmed: Vec::new(),
+                    tgen: Vec::new(),
+                    hdone: Vec::new(),
+                    completion: Vec::new(),
+                    n_senders: 0,
+                    done_count: 0,
+                    outbox: Vec::new(),
+                    w_end: SimTime::ZERO,
+                    extra_events: 0,
+                }
+            })
+            .collect();
+
+        for (i, f) in flows.iter().enumerate() {
+            let (s, r) = factory(i, f);
+            shards[f.src].add_host(i as u32, true, s);
+            shards[f.dst].add_host(i as u32, false, r);
+        }
+
+        ShardedEmulator {
+            shards: shards.into_iter().map(std::sync::Mutex::new).collect(),
+            flows,
+            lookahead,
+            day_len: net.day_len,
+            night_len: net.night_len,
+        }
+    }
+
+    /// The schedule edge strictly after `t` (day→night or night→day
+    /// boundary) — windows never span an edge, so service trains can
+    /// use the window's matching throughout.
+    fn edge_after(&self, t: SimTime) -> SimTime {
+        let slot = self.day_len + self.night_len;
+        let k = t.as_nanos() / slot.as_nanos();
+        let night_at = SimTime::from_nanos(k * slot.as_nanos()) + self.day_len;
+        if t < night_at {
+            night_at
+        } else {
+            SimTime::from_nanos((k + 1) * slot.as_nanos())
+        }
+    }
+
+    /// Run the fabric until `until` with up to `workers` threads.
+    /// Output is bit-identical for every worker count.
+    pub fn run(self, until: SimTime, workers: usize) -> ShardResult {
+        for s in &self.shards {
+            s.lock().expect("shard poisoned").start();
+        }
+        let epsilon = SimDuration::from_nanos(1);
+        par::run_windows(
+            workers,
+            &self.shards,
+            |shards| {
+                // Drain mailboxes in fixed rack order; batch runs of
+                // same-(host, time) segments into one delivery event.
+                for src in 0..shards.len() {
+                    let out =
+                        std::mem::take(&mut shards[src].lock().expect("shard poisoned").outbox);
+                    let mut i = 0;
+                    while i < out.len() {
+                        let (t, dst, host, _) = out[i];
+                        let mut j = i + 1;
+                        while j < out.len() && out[j].0 == t && out[j].1 == dst && out[j].2 == host
+                        {
+                            j += 1;
+                        }
+                        let segs = if j == i + 1 {
+                            SegBatch::One(out[i].3)
+                        } else {
+                            SegBatch::Many(out[i..j].iter().map(|m| m.3).collect())
+                        };
+                        shards[dst as usize]
+                            .lock()
+                            .expect("shard poisoned")
+                            .q
+                            .schedule(t, REv::Deliver { host, segs });
+                        i = j;
+                    }
+                }
+                // Window bounds and stop decision.
+                let mut all_done = true;
+                let mut w_start: Option<SimTime> = None;
+                for s in shards {
+                    let mut g = s.lock().expect("shard poisoned");
+                    if g.done_count < g.n_senders {
+                        all_done = false;
+                    }
+                    if let Some(t) = g.q.peek_time() {
+                        w_start = Some(w_start.map_or(t, |w: SimTime| w.min(t)));
+                    }
+                }
+                let Some(w_start) = w_start else { return false };
+                if all_done || w_start > until {
+                    return false;
+                }
+                let w_end = (w_start + self.lookahead)
+                    .min(self.edge_after(w_start))
+                    .min(until + epsilon);
+                for s in shards {
+                    s.lock().expect("shard poisoned").w_end = w_end;
+                }
+                true
+            },
+            |_, shard| shard.run_window(),
+        );
+
+        // Fold the result in fixed (flow, rack) order.
+        let nf = self.flows.len();
+        let mut sender_stats = vec![ConnStats::default(); nf];
+        let mut receiver_stats = vec![ConnStats::default(); nf];
+        let mut completions = vec![None; nf];
+        let mut sender_errors = vec![false; nf];
+        let mut drops = 0u64;
+        let mut ce_marks = 0u64;
+        let mut events = 0u64;
+        let mut rack_events = Vec::new();
+        let mut faults_total = 0u64;
+        let mut impairments_total = 0u64;
+        let mut clock_total = 0u64;
+        let mut fault_log_digests = Vec::new();
+        let mut impair_log_digests = Vec::new();
+        let mut clock_log_digests = Vec::new();
+        let mut duration = SimDuration::ZERO;
+        for s in &self.shards {
+            let g = s.lock().expect("shard poisoned");
+            for h in 0..g.hosts.len() {
+                let flow = g.hflow[h] as usize;
+                if g.hsend[h] {
+                    sender_stats[flow] = *g.hosts[h].stats();
+                    completions[flow] = g.completion[h];
+                    sender_errors[flow] = g.hosts[h].conn_error().is_some();
+                } else {
+                    receiver_stats[flow] = *g.hosts[h].stats();
+                }
+            }
+            drops += g.voqs.iter().map(|v| v.drops).sum::<u64>();
+            ce_marks += g.voqs.iter().map(|v| v.ce_marks).sum::<u64>();
+            let re = g.q.events_processed() + g.extra_events;
+            events += re;
+            rack_events.push(re);
+            faults_total += crate::statfold::InjectorStats::total(g.faults.stats());
+            impairments_total += crate::statfold::InjectorStats::total(g.impair.stats());
+            clock_total += g.clock.stats().total();
+            fault_log_digests.push(g.faults.log_digest());
+            impair_log_digests.push(g.impair.log_digest());
+            clock_log_digests.push(g.clock.log_digest());
+            duration = duration.max(g.q.now().saturating_since(SimTime::ZERO));
+        }
+        crate::emulator::EVENTS_TOTAL.fetch_add(events, std::sync::atomic::Ordering::Relaxed);
+        ShardResult {
+            sender_stats,
+            receiver_stats,
+            completions,
+            sender_errors,
+            drops,
+            ce_marks,
+            events,
+            rack_events,
+            faults_total,
+            impairments_total,
+            clock_total,
+            fault_log_digests,
+            impair_log_digests,
+            clock_log_digests,
+            duration,
+        }
+    }
+}
+
+impl<'a> RackShard<'a> {
+    fn add_host(&mut self, flow: u32, sender: bool, t: Box<dyn Transport + Send + 'a>) {
+        self.hosts.push(t);
+        self.hflow.push(flow);
+        self.hsend.push(sender);
+        self.tdeadline.push(SimTime::MAX);
+        self.tarmed.push(SimTime::MAX);
+        self.tgen.push(0);
+        self.hdone.push(false);
+        self.completion.push(None);
+        if sender {
+            self.n_senders += 1;
+        }
+    }
+
+    /// Seed day 0, flush every resident host's initial sends, and count
+    /// already-done senders (zero-byte flows).
+    fn start(&mut self) {
+        self.q.schedule(SimTime::ZERO, REv::DayStart { day: 0 });
+        for h in 0..self.hosts.len() {
+            self.flush(SimTime::ZERO, h);
+        }
+        for h in 0..self.hosts.len() {
+            if self.hsend[h] && self.hosts[h].is_done() {
+                self.hdone[h] = true;
+                self.completion[h] = Some(SimTime::ZERO);
+                self.done_count += 1;
+            }
+        }
+    }
+
+    /// Process every local event strictly before `w_end`.
+    fn run_window(&mut self) {
+        while let Some((now, ev)) = self.q.pop_before(self.w_end) {
+            let touched = match &ev {
+                REv::Deliver { host, .. }
+                | REv::Notify { host, .. }
+                | REv::HostTimer { host, .. } => Some(*host as usize),
+                _ => None,
+            };
+            match ev {
+                REv::Deliver { host, segs } => {
+                    let h = host as usize;
+                    self.extra_events += segs.len() as u64 - 1;
+                    match segs {
+                        SegBatch::One(seg) => self.hosts[h].on_segment(now, &seg),
+                        SegBatch::Many(v) => {
+                            for seg in &v {
+                                self.hosts[h].on_segment(now, seg);
+                            }
+                        }
+                    }
+                    self.flush(now, h);
+                }
+                REv::Enqueue { dst, seg } => {
+                    let dst = dst as usize;
+                    if self.voqs[dst].enqueue(now, seg) {
+                        self.kick(now, dst);
+                    }
+                }
+                REv::CircuitService => {
+                    self.circuit_pending = false;
+                    self.circuit_service(now);
+                }
+                REv::PacketService => {
+                    self.eps_pending = false;
+                    self.packet_service(now);
+                }
+                REv::DayStart { day } => self.on_day_start(now, day),
+                REv::NightStart { day } => self.on_night_start(now, day),
+                REv::Notify { host, tdn, gen } => {
+                    let h = host as usize;
+                    self.hosts[h].on_tdn_notification(now, tdn, gen);
+                    self.flush(now, h);
+                }
+                REv::HostTimer { host, tgen } => self.host_timer(now, host as usize, tgen),
+            }
+            if let Some(h) = touched {
+                if self.hsend[h] && !self.hdone[h] && self.hosts[h].is_done() {
+                    self.hdone[h] = true;
+                    self.completion[h] = Some(now);
+                    self.done_count += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain a host's sends through the rack NIC, then maintain its lazy
+    /// timer. No cancel is ever issued: pulling a timer *earlier* bumps
+    /// the generation and schedules anew; pushing it *later* is just the
+    /// `tdeadline` write, and the already-armed event rearms itself when
+    /// it fires stale.
+    fn flush(&mut self, now: SimTime, h: usize) {
+        while let Some(seg) = self.hosts[h].poll_send(now) {
+            let seat = self.seats[seg.flow.0 as usize];
+            let dst = match seg.dir {
+                Direction::DataPath => seat.dst_rack,
+                Direction::AckPath => seat.src_rack,
+            };
+            let start = self.nic_free.max(now);
+            let done = start
+                + SimDuration::serialization(u64::from(seg.wire_size()), self.host_rate_bps);
+            self.nic_free = done;
+            self.q.schedule(done, REv::Enqueue { dst, seg });
+        }
+        let want = self.hosts[h].next_timer().map_or(SimTime::MAX, |t| t.max(now));
+        self.tdeadline[h] = want;
+        if want < self.tarmed[h] {
+            self.tgen[h] = self.tgen[h].wrapping_add(1);
+            self.tarmed[h] = want;
+            self.q.schedule(
+                want,
+                REv::HostTimer {
+                    host: h as u32,
+                    tgen: self.tgen[h],
+                },
+            );
+        }
+    }
+
+    fn host_timer(&mut self, now: SimTime, h: usize, gen: u32) {
+        if gen != self.tgen[h] {
+            return; // superseded by an earlier rearm
+        }
+        self.tarmed[h] = SimTime::MAX;
+        let deadline = self.tdeadline[h];
+        if deadline == SimTime::MAX {
+            return; // disarmed since
+        }
+        if deadline <= now {
+            self.hosts[h].on_timer(now);
+            self.flush(now, h);
+        } else {
+            // Fired early (the deadline moved later, lazily): rearm at
+            // the real deadline.
+            self.tgen[h] = self.tgen[h].wrapping_add(1);
+            self.tarmed[h] = deadline;
+            self.q.schedule(
+                deadline,
+                REv::HostTimer {
+                    host: h as u32,
+                    tgen: self.tgen[h],
+                },
+            );
+        }
+    }
+
+    /// New data for `dst`: wake whichever service path owns it.
+    fn kick(&mut self, now: SimTime, dst: usize) {
+        if self.peer == Some(dst) {
+            if !self.circuit_pending {
+                let at = self.circuit_busy_until.max(now);
+                self.q.schedule(at, REv::CircuitService);
+                self.circuit_pending = true;
+            }
+        } else if !self.eps_pending {
+            let at = self.eps_busy_until.max(now);
+            self.q.schedule(at, REv::PacketService);
+            self.eps_pending = true;
+        }
+    }
+
+    /// Serve the circuit as a train: launch every already-queued
+    /// eligible segment back-to-back until the VOQ runs dry or the
+    /// window ends. Window ends are worker-count independent, so the
+    /// train extent is too.
+    fn circuit_service(&mut self, now: SimTime) {
+        let Some(dst) = self.peer else { return };
+        let mut at = now;
+        let mut first = true;
+        loop {
+            if at >= self.w_end {
+                if self.voqs[dst].has_eligible(Some(TdnId(1))) {
+                    self.q.schedule(at, REv::CircuitService);
+                    self.circuit_pending = true;
+                }
+                return;
+            }
+            let Some(seg) = self.voqs[dst].dequeue_eligible(at, Some(TdnId(1))) else {
+                return;
+            };
+            if !first {
+                self.extra_events += 1;
+            }
+            first = false;
+            let ser = self.launch(at, seg, true, dst);
+            at += ser;
+            self.circuit_busy_until = at;
+        }
+    }
+
+    /// Serve the shared EPS uplink as a train: round-robin over the
+    /// rack's non-circuit destinations until nothing is eligible or the
+    /// window ends.
+    fn packet_service(&mut self, now: SimTime) {
+        let n = self.racks;
+        let mut at = now;
+        let mut first = true;
+        loop {
+            if at >= self.w_end {
+                let more = (0..n).any(|d| {
+                    d != self.r
+                        && self.peer != Some(d)
+                        && self.voqs[d].has_eligible(Some(TdnId(0)))
+                });
+                if more {
+                    self.q.schedule(at, REv::PacketService);
+                    self.eps_pending = true;
+                }
+                return;
+            }
+            let start = self.eps_rr;
+            let mut chosen = None;
+            for k in 0..n {
+                let dst = (start + k) % n;
+                if dst == self.r || self.peer == Some(dst) {
+                    continue; // circuit traffic does not ride the EPS
+                }
+                if self.voqs[dst].has_eligible(Some(TdnId(0))) {
+                    chosen = Some(dst);
+                    break;
+                }
+            }
+            let Some(dst) = chosen else { return };
+            self.eps_rr = (dst + 1) % n;
+            let seg = self.voqs[dst]
+                .dequeue_eligible(at, Some(TdnId(0)))
+                .expect("has_eligible checked");
+            if !first {
+                self.extra_events += 1;
+            }
+            first = false;
+            let ser = self.launch(at, seg, false, dst);
+            at += ser;
+            self.eps_busy_until = at;
+        }
+    }
+
+    /// Whether `matchings[day]` connects racks `a` and `b`.
+    fn connected_on_day(&self, day: u64, a: usize, b: usize) -> bool {
+        let m = &self.matchings[(day % self.matchings.len() as u64) as usize];
+        m.iter().any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// Launch one segment from this rack's ToR toward `dst` at `at`,
+    /// running it through the chaos pipeline in fixed order — clock →
+    /// EPS jitter → EPS transit faults → wire impairments — and
+    /// emitting any surviving copies into the outbox. Returns the
+    /// serialization time the port slot consumed.
+    fn launch(&mut self, at: SimTime, mut seg: Segment, circuit: bool, dst: usize) -> SimDuration {
+        let mut p = if circuit { self.circuit } else { self.packet };
+        let true_ser = SimDuration::serialization(u64::from(seg.wire_size()), p.rate_bps);
+        // Time plane: the launching host is always resident (data
+        // launches at the flow's source rack, acks at its destination).
+        if !self.clock.is_inert() {
+            let seat = self.seats[seg.flow.0 as usize];
+            let host = match seg.dir {
+                Direction::DataPath => seat.s_local,
+                Direction::AckPath => seat.r_local,
+            } as usize;
+            match self.clock.on_send(host, at, &self.sched, self.guard_band) {
+                ClockVerdict::Send => {}
+                ClockVerdict::GuardDrop => return true_ser, // slot burned, segment gone
+                ClockVerdict::Defer => {
+                    // Re-enqueue at what the host believes is the next
+                    // slot start.
+                    let next = self.sched.day_start(self.sched.day_number(at) + 1);
+                    self.q.schedule(next, REv::Enqueue { dst: dst as u32, seg });
+                    return true_ser;
+                }
+                ClockVerdict::WrongTdn { perceived_day } => {
+                    // The host launches under the network it thinks is
+                    // active: stale parameters for this transmission.
+                    p = if self.connected_on_day(perceived_day, self.r, dst) {
+                        self.circuit
+                    } else {
+                        self.packet
+                    };
+                }
+            }
+        }
+        let ser = SimDuration::serialization(u64::from(seg.wire_size()), p.rate_bps);
+        let jitter = match p.jitter {
+            Some((prob, mean)) if self.rng.chance(prob) => {
+                SimDuration::from_nanos(self.rng.exponential(mean.as_nanos() as f64) as u64)
+            }
+            _ => SimDuration::ZERO,
+        };
+        // EPS transit faults (burst windows) apply on the packet
+        // network only.
+        if !circuit {
+            match self.faults.on_transit(at) {
+                EpsVerdict::Pass => {}
+                EpsVerdict::Drop => return ser,
+                EpsVerdict::Corrupt => {
+                    if seg.has_payload() {
+                        seg.payload_csum = crate::emulator::mangle_csum(seg.payload_csum);
+                    } else {
+                        return ser; // a corrupted pure ACK is a loss
+                    }
+                }
+            }
+        }
+        let arrive = at + ser + p.one_way + jitter;
+        match self.impair.on_wire(at) {
+            ImpairVerdict::Pass => self.emit(arrive, seg),
+            ImpairVerdict::Drop => {}
+            ImpairVerdict::Delay(extra) => self.emit(arrive + extra, seg),
+            ImpairVerdict::Duplicate(lag) => {
+                self.emit(arrive, seg);
+                self.emit(arrive + lag, seg);
+            }
+            ImpairVerdict::Corrupt => {
+                if seg.has_payload() {
+                    seg.payload_csum = crate::emulator::mangle_csum(seg.payload_csum);
+                    self.emit(arrive, seg);
+                }
+            }
+        }
+        ser
+    }
+
+    /// Queue a segment for cross-rack delivery at the next barrier.
+    fn emit(&mut self, arrive: SimTime, seg: Segment) {
+        let seat = self.seats[seg.flow.0 as usize];
+        let (rack, host) = match seg.dir {
+            Direction::DataPath => (seat.dst_rack, seat.r_local),
+            Direction::AckPath => (seat.src_rack, seat.s_local),
+        };
+        debug_assert!(
+            arrive >= self.w_end,
+            "cross-rack arrival inside the window violates the lookahead"
+        );
+        self.outbox.push((arrive, rack, host, seg));
+    }
+
+    fn on_day_start(&mut self, now: SimTime, day: u64) {
+        let m = &self.matchings[(day % self.matchings.len() as u64) as usize];
+        self.peer = m.iter().find_map(|&(a, b)| {
+            if a == self.r {
+                Some(b)
+            } else if b == self.r {
+                Some(a)
+            } else {
+                None
+            }
+        });
+        // Notify resident hosts, sampling latencies (and fault
+        // verdicts) in fixed host order.
+        for h in 0..self.hosts.len() {
+            let flow = self.hflow[h] as usize;
+            let seat = self.seats[flow];
+            let connected =
+                self.connected_on_day(day, seat.src_rack as usize, seat.dst_rack as usize);
+            let tdn = if connected { TdnId(1) } else { TdnId(0) };
+            let lat = self.notify_model.sample(&mut self.rng, flow).total();
+            let side = u8::from(!self.hsend[h]);
+            match self.faults.on_notify(day, flow, side) {
+                NotifyVerdict::Drop => {}
+                NotifyVerdict::Deliver { extra, duplicate } => {
+                    let base = now + lat + extra;
+                    let host = h as u32;
+                    self.q.schedule(base, REv::Notify { host, tdn, gen: day });
+                    if let Some(lag) = duplicate {
+                        self.q
+                            .schedule(base + lag, REv::Notify { host, tdn, gen: day });
+                    }
+                }
+            }
+        }
+        // Kick services for the new matching.
+        if let Some(dst) = self.peer {
+            if self.voqs[dst].has_eligible(Some(TdnId(1))) && !self.circuit_pending {
+                let at = self.circuit_busy_until.max(now);
+                self.q.schedule(at, REv::CircuitService);
+                self.circuit_pending = true;
+            }
+        }
+        self.kick_eps_if_work(now);
+        self.q.schedule(now + self.day_len, REv::NightStart { day });
+    }
+
+    fn on_night_start(&mut self, now: SimTime, day: u64) {
+        self.peer = None;
+        self.q
+            .schedule(now + self.night_len, REv::DayStart { day: day + 1 });
+        // Traffic that was circuit-bound now needs the EPS.
+        self.kick_eps_if_work(now);
+    }
+
+    /// Schedule an EPS service pass if any destination has eligible
+    /// packet traffic (the old engine kicked unconditionally; checking
+    /// first saves an empty pop per rack per edge).
+    fn kick_eps_if_work(&mut self, now: SimTime) {
+        if self.eps_pending {
+            return;
+        }
+        let any = (0..self.racks).any(|d| {
+            d != self.r && self.peer != Some(d) && self.voqs[d].has_eligible(Some(TdnId(0)))
+        });
+        if any {
+            let at = self.eps_busy_until.max(now);
+            self.q.schedule(at, REv::PacketService);
+            self.eps_pending = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp::cc::{CcConfig, Cubic};
+    use tcp::{Config, Connection, FlowId};
+
+    fn cubic_pair(
+        i: usize,
+        bytes: u64,
+    ) -> (Box<dyn Transport + Send>, Box<dyn Transport + Send>) {
+        let cfg = Config {
+            bytes_to_send: bytes,
+            ..Config::default()
+        };
+        let cc = CcConfig::default();
+        (
+            Box::new(Connection::connect(
+                FlowId(i as u32),
+                cfg.clone(),
+                Box::new(Cubic::new(cc)),
+                SimTime::ZERO,
+            )),
+            Box::new(Connection::listen(
+                FlowId(i as u32),
+                cfg,
+                Box::new(Cubic::new(cc)),
+            )),
+        )
+    }
+
+    fn small_cfg() -> ShardConfig {
+        let mut net = MultiRackConfig::paper_8rack();
+        net.racks = 4;
+        ShardConfig::clean(net)
+    }
+
+    fn ring_flows(n: usize) -> Vec<PairFlow> {
+        (0..n)
+            .map(|r| PairFlow {
+                src: r,
+                dst: (r + 1) % n,
+            })
+            .collect()
+    }
+
+    fn run_digest(cfg: ShardConfig, workers: usize, bytes: u64) -> (u64, ShardResult) {
+        let emu = ShardedEmulator::new(cfg, ring_flows(4), |i, _| cubic_pair(i, bytes));
+        let res = emu.run(SimTime::from_millis(3), workers);
+        (res.stats_digest(), res)
+    }
+
+    #[test]
+    fn every_flow_makes_progress() {
+        let (_, res) = run_digest(small_cfg(), 1, u64::MAX);
+        assert_eq!(res.sender_stats.len(), 4);
+        for (i, s) in res.sender_stats.iter().enumerate() {
+            assert!(s.bytes_acked > 0, "flow {i} starved");
+        }
+        assert!(res.events > 0);
+        assert_eq!(res.rack_events.len(), 4);
+        assert_eq!(res.events, res.rack_events.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn finite_transfers_complete() {
+        let emu = ShardedEmulator::new(small_cfg(), ring_flows(4), |i, _| {
+            cubic_pair(i, 300_000)
+        });
+        let res = emu.run(SimTime::from_millis(50), 1);
+        for (i, r) in res.receiver_stats.iter().enumerate() {
+            assert_eq!(r.bytes_delivered, 300_000, "flow {i}");
+            assert!(res.completions[i].is_some(), "flow {i} never completed");
+        }
+    }
+
+    #[test]
+    fn digest_invariant_across_worker_counts() {
+        let (d1, r1) = run_digest(small_cfg(), 1, u64::MAX);
+        let (d2, _) = run_digest(small_cfg(), 2, u64::MAX);
+        let (d4, _) = run_digest(small_cfg(), 4, u64::MAX);
+        assert!(r1.total_acked() > 0);
+        assert_eq!(d1, d2, "workers=2 diverged from workers=1");
+        assert_eq!(d1, d4, "workers=4 diverged from workers=1");
+    }
+
+    #[test]
+    fn chaos_run_is_worker_invariant() {
+        let chaos = || {
+            let mut cfg = small_cfg();
+            cfg.faults.notify_loss = 0.05;
+            cfg.faults.notify_duplicate = 0.05;
+            cfg.impair.loss_rate = 0.005;
+            cfg.impair.reorder_rate = 0.02;
+            cfg.impair.reorder_delay = SimDuration::from_micros(120);
+            cfg.clock = ClockPlan {
+                offset_bound: SimDuration::from_micros(40),
+                ..ClockPlan::none()
+            };
+            cfg.guard_band = SimDuration::from_micros(2);
+            cfg
+        };
+        let (d1, r1) = run_digest(chaos(), 1, u64::MAX);
+        let (d4, _) = run_digest(chaos(), 4, u64::MAX);
+        assert!(r1.total_acked() > 0);
+        assert_eq!(d1, d4, "chaos run diverged across worker counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "day-fate faults")]
+    fn day_fate_faults_are_rejected() {
+        let mut cfg = small_cfg();
+        cfg.faults.link_failure = Some(crate::faults::LinkFailure {
+            day: 1,
+            at_fraction: 0.5,
+            outage_days: 1,
+        });
+        let _ = ShardedEmulator::new(cfg, ring_flows(4), |i, _| cubic_pair(i, 1_000));
+    }
+}

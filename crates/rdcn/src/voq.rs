@@ -48,6 +48,11 @@ pub struct Voq {
     pinned_total: usize,
     /// Occupancy over time, the raw series behind Figs. 7b/8b/13/14.
     gauge: Gauge,
+    /// Whether occupancy changes append to the gauge. The figure
+    /// pipelines need the series; the sharded multirack engine doesn't
+    /// read it, and skipping the per-op append keeps its hot path free
+    /// of unbounded trace growth.
+    traced: bool,
     /// Tail drops.
     pub drops: u64,
     /// Total enqueues accepted.
@@ -72,10 +77,21 @@ impl Voq {
             class_len: Vec::new(),
             pinned_total: 0,
             gauge: Gauge::new(name, 0.0),
+            traced: true,
             drops: 0,
             enqueued: 0,
             ce_marks: 0,
         }
+    }
+
+    /// New VOQ that keeps all counters (drops/enqueued/ce_marks — the
+    /// digest-folded state) but records no occupancy trace. Queue
+    /// *behaviour* is identical to [`Voq::new`]; only the `series()`
+    /// observation is absent.
+    pub fn untraced(cfg: VoqConfig) -> Self {
+        let mut v = Voq::new(String::new(), cfg);
+        v.traced = false;
+        v
     }
 
     /// Current occupancy in packets.
@@ -134,7 +150,9 @@ impl Voq {
         }
         self.q.push_back(seg);
         self.enqueued += 1;
-        self.gauge.set(now, self.q.len() as f64);
+        if self.traced {
+            self.gauge.set(now, self.q.len() as f64);
+        }
         true
     }
 
@@ -164,7 +182,9 @@ impl Voq {
         if seg.pin.is_some() {
             self.pinned_total -= 1;
         }
-        self.gauge.set(now, self.q.len() as f64);
+        if self.traced {
+            self.gauge.set(now, self.q.len() as f64);
+        }
         Some(seg)
     }
 

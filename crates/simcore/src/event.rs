@@ -183,6 +183,36 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Pop the next live event strictly before `limit`, or `None` when
+    /// the queue is empty or its next live event is at or past `limit`.
+    /// One root inspection instead of a `peek_time` + `pop` pair — the
+    /// windowed shard loop calls this once per event.
+    pub fn pop_before(&mut self, limit: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            let entry = self.heap.peek()?;
+            if entry.time >= limit {
+                // Heap order: every live event is at or past `limit`
+                // too (a cancelled root is collected lazily later).
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked entry vanished");
+            match std::mem::replace(&mut self.slots[entry.slot as usize], Slot::Vacant) {
+                Slot::Cancelled => {
+                    self.free.push(entry.slot);
+                }
+                Slot::Live { seq, payload } => {
+                    debug_assert_eq!(seq, entry.seq, "slot/entry pairing broken");
+                    debug_assert!(entry.time >= self.now, "event queue went backwards");
+                    self.free.push(entry.slot);
+                    self.now = entry.time;
+                    self.popped += 1;
+                    return Some((entry.time, payload));
+                }
+                Slot::Vacant => unreachable!("heap entry pointed at a vacant slot"),
+            }
+        }
+    }
+
     /// Timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drain dead entries off the top so the peek is accurate.
@@ -275,6 +305,25 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
         assert!(!q.is_empty());
         q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_limit() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(2), "b");
+        q.schedule(SimTime::from_micros(5), "c");
+        q.cancel(a);
+        // Cancelled root below the limit is collected, "b" surfaces.
+        assert_eq!(q.pop_before(SimTime::from_micros(4)), Some((SimTime::from_micros(2), "b")));
+        // "c" is at 5 >= 4: untouched, clock stays where the pop left it.
+        assert_eq!(q.pop_before(SimTime::from_micros(4)), None);
+        assert_eq!(q.now(), SimTime::from_micros(2));
+        // Limit is exclusive: an event exactly at the limit stays queued.
+        assert_eq!(q.pop_before(SimTime::from_micros(5)), None);
+        assert_eq!(q.pop_before(SimTime::from_micros(6)), Some((SimTime::from_micros(5), "c")));
+        assert_eq!(q.pop_before(SimTime::MAX), None);
         assert!(q.is_empty());
     }
 

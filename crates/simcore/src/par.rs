@@ -110,6 +110,105 @@ where
         .collect()
 }
 
+/// Windowed barrier executor for intra-run sharding (DESIGN.md §13).
+///
+/// Runs a sequence of *windows*. In each window, `leader` runs first on
+/// the calling thread with exclusive access to all shards (it drains
+/// mailboxes, decides the window bounds, and returns `false` to stop);
+/// then `work(shard_index, &mut shard)` runs once per shard, possibly in
+/// parallel across up to `jobs` workers. Two barriers per window bracket
+/// the leader section so no worker ever overlaps it.
+///
+/// Determinism contract: `work` on shard `i` may touch only shard `i`
+/// (the `&mut` exclusivity enforces it), so the multiset of per-shard
+/// effects is the same for any worker count; everything order-sensitive
+/// (mailbox draining, reductions) happens in the single-threaded leader
+/// in fixed shard order. `jobs <= 1` runs the whole loop inline —
+/// leader, then shards 0..n in order — with no threads and no atomics:
+/// the debugging path, and byte-identical to the parallel path by the
+/// argument above.
+///
+/// The fan-out is a **persistent** pool: workers are spawned once and
+/// parked on per-worker channels between windows, so the per-window cost
+/// is two channel hops instead of `workers` thread spawns (which
+/// dominate short windows — a multirack run has thousands of them).
+/// Barriers are channel round-trips, not `std::sync::Barrier` (which
+/// cannot be broken): each worker owns a drop guard that reports
+/// completion *even while unwinding*, so a panicking worker wakes the
+/// leader instead of deadlocking it, the leader stops issuing windows,
+/// and the scope join propagates the panic to the caller.
+pub fn run_windows<S>(
+    jobs: usize,
+    shards: &[Mutex<S>],
+    mut leader: impl FnMut(&[Mutex<S>]) -> bool,
+    work: impl Fn(usize, &mut S) + Sync,
+) where
+    S: Send,
+{
+    let n = shards.len();
+    if jobs <= 1 || n <= 1 {
+        while leader(shards) {
+            for (i, s) in shards.iter().enumerate() {
+                work(i, &mut s.lock().expect("shard poisoned"));
+            }
+        }
+        return;
+    }
+    let workers = jobs.min(n);
+    let work = &work;
+    let cursor = &AtomicUsize::new(0);
+
+    /// Reports a worker's window as finished when dropped — including
+    /// a drop during unwind, where it flags the panic so the leader
+    /// stops cleanly instead of waiting forever.
+    struct DoneGuard(std::sync::mpsc::Sender<bool>);
+    impl Drop for DoneGuard {
+        fn drop(&mut self) {
+            let _ = self.0.send(std::thread::panicking());
+        }
+    }
+
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<bool>();
+        let mut go_txs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (go_tx, go_rx) = std::sync::mpsc::channel::<()>();
+            go_txs.push(go_tx);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                // Parked here between windows; a dropped sender (leader
+                // finished or bailed) ends the worker.
+                while go_rx.recv().is_ok() {
+                    let _done = DoneGuard(done_tx.clone());
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        work(i, &mut shards[i].lock().expect("shard poisoned"));
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        // Workers are parked whenever the leader runs, so it has the
+        // shards to itself.
+        'windows: while leader(shards) {
+            cursor.store(0, Ordering::Relaxed);
+            for go in &go_txs {
+                go.send(()).expect("worker exited early");
+            }
+            for _ in 0..workers {
+                if done_rx.recv().expect("worker exited early") {
+                    break 'windows; // a worker panicked: stop issuing work
+                }
+            }
+        }
+        drop(go_txs); // unpark workers into their exit path
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +266,74 @@ mod tests {
             }
             x
         });
+    }
+
+    /// Toy sharded computation: each window the leader passes one token
+    /// from shard i to shard i+1 (the "mailbox"), each shard then does
+    /// local work. Any worker count must produce the same final state.
+    fn windows_fixture(jobs: usize, shards: usize, rounds: u32) -> Vec<u64> {
+        let state: Vec<Mutex<(u64, u32)>> = (0..shards).map(|_| Mutex::new((0, 0))).collect();
+        let mut round = 0u32;
+        run_windows(
+            jobs,
+            &state,
+            |shards| {
+                // Ring-shift each shard's accumulator into the next
+                // shard, in fixed shard order.
+                let vals: Vec<u64> = shards
+                    .iter()
+                    .map(|s| s.lock().unwrap().0)
+                    .collect();
+                for (i, s) in shards.iter().enumerate() {
+                    let from = (i + shards.len() - 1) % shards.len();
+                    s.lock().unwrap().0 = vals[from];
+                }
+                round += 1;
+                round <= rounds
+            },
+            |i, s| {
+                s.0 = s.0.wrapping_mul(31).wrapping_add(i as u64 + 1);
+                s.1 += 1;
+            },
+        );
+        let out: Vec<u64> = state.iter().map(|s| s.lock().unwrap().0).collect();
+        for s in &state {
+            assert_eq!(s.lock().unwrap().1, rounds, "every shard ran every window");
+        }
+        out
+    }
+
+    #[test]
+    fn run_windows_is_worker_count_invariant() {
+        let serial = windows_fixture(1, 5, 40);
+        for jobs in [2, 3, 4, 16] {
+            assert_eq!(windows_fixture(jobs, 5, 40), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_windows_leader_false_stops_immediately() {
+        let state: Vec<Mutex<u32>> = (0..3).map(|_| Mutex::new(0)).collect();
+        run_windows(4, &state, |_| false, |_, s| *s += 1);
+        for s in &state {
+            assert_eq!(*s.lock().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn run_windows_work_panic_propagates() {
+        let state: Vec<Mutex<u32>> = (0..4).map(|_| Mutex::new(0)).collect();
+        let mut first = true;
+        run_windows(
+            2,
+            &state,
+            |_| std::mem::take(&mut first),
+            |i, _| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            },
+        );
     }
 }

@@ -529,7 +529,7 @@ impl Connection {
                 self.cc.on_exit_recovery(now);
             }
         }
-        if self.ca == CaState::Disorder && !self.rtx.iter().any(|s| !s.sacked) {
+        if self.ca == CaState::Disorder && self.rtx.all_sacked() {
             self.ca = CaState::Open;
         }
 
@@ -573,10 +573,14 @@ impl Connection {
         let Some(high_sacked) = self.rtx.highest_sacked() else {
             return;
         };
-        let hole_exists = self
-            .rtx
-            .iter()
-            .any(|s| !s.sacked && s.seq.before(high_sacked));
+        // Fast path: an unsacked head below a SACKed segment is a hole.
+        let hole_exists = match self.rtx.front() {
+            Some(f) if !f.sacked => true,
+            _ => self
+                .rtx
+                .iter()
+                .any(|s| !s.sacked && s.seq.before(high_sacked)),
+        };
         if !hole_exists {
             return;
         }
@@ -799,12 +803,16 @@ impl Connection {
             return;
         }
         self.stats.tlps += 1;
+        let flow = self.flow;
+        let dir = self.data_dir;
         // Probe: retransmit the highest unsacked segment.
-        if let Some(seg) = self.rtx.last_unsacked() {
-            let mut out = Self::segment_from_txseg(self.flow, self.data_dir, seg);
+        if let Some(mut out) = self.rtx.with_last_unsacked(|seg| {
+            let out = Self::segment_from_txseg(flow, dir, seg);
             seg.tx_time = now;
             seg.retx_count += 1;
             seg.retx_in_flight = true;
+            out
+        }) {
             out.ack = self
                 .rx
                 .as_ref()
@@ -869,7 +877,7 @@ impl Connection {
     }
 
     fn fin_is_queued(&self) -> bool {
-        self.fin_sent || self.rtx.iter().any(|s| s.is_fin)
+        self.fin_sent || self.rtx.has_fin()
     }
 
     /// Hook: the TDN to tag (re)transmissions with. Single-path TCP has no
@@ -919,12 +927,14 @@ impl Connection {
             let tdn = self.current_tdn();
             let flow = self.flow;
             let dir = self.data_dir;
-            if let Some(s) = self.rtx.next_retransmit() {
-                let mut out = Self::segment_from_txseg(flow, dir, s);
+            if let Some(mut out) = self.rtx.with_next_retransmit(|s| {
+                let out = Self::segment_from_txseg(flow, dir, s);
                 s.tx_time = now;
                 s.tdn = tdn;
                 s.retx_count += 1;
                 s.retx_in_flight = true;
+                out
+            }) {
                 out.ack = self
                     .rx
                     .as_ref()
@@ -984,7 +994,7 @@ impl Connection {
             if self.bytes_unsent == 0
                 && self.cfg.bytes_to_send > 0
                 && !self.fin_is_queued()
-                && self.snd_nxt == self.rtx.iter().last().map_or(self.snd_nxt, |s| s.end())
+                && self.snd_nxt == self.rtx.back().map_or(self.snd_nxt, |s| s.end())
             {
                 let mut fin = Segment::new(self.flow, self.data_dir);
                 fin.seq = self.snd_nxt;

@@ -87,17 +87,139 @@ pub struct CumAckResult {
     pub acked_space: u32,
 }
 
+/// A lazily maintained scoreboard aggregate: `Dirty` after a mutation
+/// that may have invalidated it; recomputed on the next read.
+#[derive(Debug, Clone, Copy, Default)]
+enum Cache<T> {
+    #[default]
+    Dirty,
+    Clean(Option<T>),
+}
+
 /// The retransmission queue proper: contiguous segments covering
 /// `[snd_una, snd_nxt)` in order.
+///
+/// Hot per-connection state is packed struct-of-arrays style: every
+/// scoreboard aggregate the send path reads per ACK — total and per-TDN
+/// [`PipeCounts`], retransmission demand, queued FINs, the highest
+/// SACKed edge and the newest SACKed transmit time — is maintained
+/// incrementally on each flag transition, so the per-ACK reads that used
+/// to scan the whole queue ([`counts`](RtxQueue::counts),
+/// [`counts_for_tdn`](RtxQueue::counts_for_tdn),
+/// [`has_retransmit`](RtxQueue::has_retransmit), …) are O(1). Segment
+/// flags therefore only change through queue methods; the scoped
+/// mutators ([`with_next_retransmit`](RtxQueue::with_next_retransmit),
+/// [`with_last_unsacked`](RtxQueue::with_last_unsacked)) re-account the
+/// mutated segment when the closure returns.
 #[derive(Debug, Default)]
 pub struct RtxQueue {
     segs: VecDeque<TxSeg>,
+    /// Incremental [`RtxQueue::counts`] over all segments.
+    total: PipeCounts,
+    /// Incremental per-TDN counts, indexed by [`TdnId::index`]; grown on
+    /// first use of a TDN. Sums to `total` at all times.
+    by_tdn: Vec<PipeCounts>,
+    /// Segments with [`TxSeg::wants_retransmit`] set.
+    retx_wanted: u32,
+    /// Segments carrying FIN.
+    fins: u32,
+    /// Cached [`RtxQueue::highest_sacked`].
+    hi_sacked: Cache<SeqNum>,
+    /// Cached [`RtxQueue::newest_sacked_tx_time`].
+    newest_sacked: Cache<SimTime>,
 }
 
 impl RtxQueue {
     /// Empty queue.
     pub fn new() -> Self {
-        RtxQueue::default()
+        RtxQueue {
+            hi_sacked: Cache::Clean(None),
+            newest_sacked: Cache::Clean(None),
+            ..RtxQueue::default()
+        }
+    }
+
+    /// Fold `seg` into every incremental aggregate.
+    fn account_add(&mut self, seg: &TxSeg) {
+        let idx = seg.tdn.index();
+        if idx >= self.by_tdn.len() {
+            self.by_tdn.resize(idx + 1, PipeCounts::default());
+        }
+        for c in [&mut self.total, &mut self.by_tdn[idx]] {
+            c.packets_out += 1;
+            if seg.sacked {
+                c.sacked_out += 1;
+            }
+            if seg.lost {
+                c.lost_out += 1;
+            }
+            if seg.retx_in_flight {
+                c.retrans_out += 1;
+            }
+        }
+        if seg.wants_retransmit() {
+            self.retx_wanted += 1;
+        }
+        if seg.is_fin {
+            self.fins += 1;
+        }
+        if seg.sacked {
+            // Newly visible sacked segment: extend the clean caches (a
+            // dirty cache stays dirty and recomputes on read).
+            if let Cache::Clean(hi) = &mut self.hi_sacked {
+                *hi = Some(hi.map_or(seg.end(), |h: SeqNum| {
+                    if h.before(seg.end()) {
+                        seg.end()
+                    } else {
+                        h
+                    }
+                }));
+            }
+            if let Cache::Clean(t) = &mut self.newest_sacked {
+                *t = Some(t.map_or(seg.tx_time, |t: SimTime| t.max(seg.tx_time)));
+            }
+        }
+    }
+
+    /// Remove `seg` from every incremental aggregate.
+    fn account_remove(&mut self, seg: &TxSeg) {
+        let idx = seg.tdn.index();
+        for c in [&mut self.total, &mut self.by_tdn[idx]] {
+            c.packets_out -= 1;
+            if seg.sacked {
+                c.sacked_out -= 1;
+            }
+            if seg.lost {
+                c.lost_out -= 1;
+            }
+            if seg.retx_in_flight {
+                c.retrans_out -= 1;
+            }
+        }
+        if seg.wants_retransmit() {
+            self.retx_wanted -= 1;
+        }
+        if seg.is_fin {
+            self.fins -= 1;
+        }
+        if seg.sacked {
+            // A sacked segment leaving the aggregate may have been the
+            // maximum; recompute lazily on the next read.
+            self.hi_sacked = Cache::Dirty;
+            self.newest_sacked = Cache::Dirty;
+        }
+    }
+
+    /// Run `f` on `segs[i]`, re-accounting whatever it changed. The
+    /// closure must not alter the segment's sequence range.
+    fn mutate_at<R>(&mut self, i: usize, f: impl FnOnce(&mut TxSeg) -> R) -> R {
+        let before = self.segs[i];
+        let r = f(&mut self.segs[i]);
+        let after = self.segs[i];
+        debug_assert_eq!(before.seq, after.seq, "scoped mutators must not renumber");
+        self.account_remove(&before);
+        self.account_add(&after);
+        r
     }
 
     /// Number of outstanding segments.
@@ -123,6 +245,7 @@ impl RtxQueue {
             );
         }
         self.segs.push_back(seg);
+        self.account_add(&seg);
     }
 
     /// Process a cumulative ACK at `ack`: remove fully covered segments.
@@ -134,10 +257,12 @@ impl RtxQueue {
         while let Some(front) = self.segs.front() {
             if front.end().before_eq(ack) {
                 let seg = self.segs.pop_front().expect("checked front");
+                self.account_remove(&seg);
                 out.acked_space += seg.len;
                 out.acked.push(seg);
             } else if front.seq.before(ack) {
-                // Partial: trim the acknowledged prefix.
+                // Partial: trim the acknowledged prefix (flags and
+                // therefore the aggregates are unchanged).
                 let front = self.segs.front_mut().expect("checked front");
                 let trimmed = ack - front.seq;
                 front.seq = ack;
@@ -159,13 +284,33 @@ impl RtxQueue {
     ) -> Vec<TxSeg> {
         let mut newly = Vec::new();
         for (left, right) in blocks {
-            for seg in self.segs.iter_mut() {
-                if !seg.sacked && seg.seq.after_eq(left) && seg.end().before_eq(right) {
-                    seg.sacked = true;
-                    // A sacked segment is definitionally not lost.
-                    seg.lost = false;
-                    seg.retx_in_flight = false;
-                    newly.push(*seg);
+            // The queue is seq-sorted and contiguous: binary-search the
+            // first segment at or after `left`, then walk only the
+            // covered range instead of scanning the whole queue per
+            // block.
+            let (mut lo, mut hi) = (0usize, self.segs.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if self.segs[mid].seq.before(left) {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            for i in lo..self.segs.len() {
+                let seg = &self.segs[i];
+                if !seg.end().before_eq(right) {
+                    break;
+                }
+                if !seg.sacked {
+                    let copy = self.mutate_at(i, |s| {
+                        s.sacked = true;
+                        // A sacked segment is definitionally not lost.
+                        s.lost = false;
+                        s.retx_in_flight = false;
+                        *s
+                    });
+                    newly.push(copy);
                 }
             }
         }
@@ -173,27 +318,34 @@ impl RtxQueue {
     }
 
     /// Highest SACKed sequence (exclusive end), if any segment is sacked.
-    pub fn highest_sacked(&self) -> Option<SeqNum> {
-        self.segs
-            .iter()
-            .rev()
-            .find(|s| s.sacked)
-            .map(|s| s.end())
+    pub fn highest_sacked(&mut self) -> Option<SeqNum> {
+        if let Cache::Clean(v) = self.hi_sacked {
+            return v;
+        }
+        let v = self.segs.iter().rev().find(|s| s.sacked).map(|s| s.end());
+        self.hi_sacked = Cache::Clean(v);
+        v
     }
 
     /// Most recent transmit time among sacked segments (RACK's reference
     /// point: anything sent sufficiently earlier and still unsacked is
     /// presumed lost).
-    pub fn newest_sacked_tx_time(&self) -> Option<SimTime> {
-        self.segs
-            .iter()
-            .filter(|s| s.sacked)
-            .map(|s| s.tx_time)
-            .max()
+    pub fn newest_sacked_tx_time(&mut self) -> Option<SimTime> {
+        if let Cache::Clean(v) = self.newest_sacked {
+            return v;
+        }
+        let v = self.segs.iter().filter(|s| s.sacked).map(|s| s.tx_time).max();
+        self.newest_sacked = Cache::Clean(v);
+        v
     }
 
     /// Count of sacked segments strictly above `seq`.
     pub fn sacked_above(&self, seq: SeqNum) -> u32 {
+        // The queue covers [snd_una, snd_nxt) contiguously, so asking
+        // from the front edge covers every segment: O(1).
+        if self.segs.front().is_none_or(|f| f.seq == seq) {
+            return self.total.sacked_out;
+        }
         self.segs
             .iter()
             .filter(|s| s.sacked && s.seq.after_eq(seq))
@@ -210,14 +362,23 @@ impl RtxQueue {
         F: FnMut(&TxSeg) -> bool,
     {
         let mut marked = Vec::new();
-        for seg in self.segs.iter_mut() {
+        // Sacked and lost are mutually exclusive, so when every segment
+        // carries one of the marks there is nothing left to mark.
+        if self.total.packets_out == self.total.sacked_out + self.total.lost_out {
+            return marked;
+        }
+        for i in 0..self.segs.len() {
+            let seg = &self.segs[i];
             if seg.seq.after_eq(below) {
                 break;
             }
             if !seg.sacked && !seg.lost && pred(seg) {
-                seg.lost = true;
-                seg.retx_in_flight = false;
-                marked.push(*seg);
+                let copy = self.mutate_at(i, |s| {
+                    s.lost = true;
+                    s.retx_in_flight = false;
+                    *s
+                });
+                marked.push(copy);
             }
         }
         marked
@@ -234,10 +395,16 @@ impl RtxQueue {
         F: FnMut(&TxSeg) -> bool,
     {
         let mut n = 0;
-        for seg in self.segs.iter_mut() {
+        if self.total.retrans_out == 0 {
+            return 0;
+        }
+        for i in 0..self.segs.len() {
+            let seg = &self.segs[i];
             if seg.retx_in_flight && !seg.sacked && seg.tx_time <= cutoff && pred(seg) {
-                seg.retx_in_flight = false;
-                seg.lost = true;
+                self.mutate_at(i, |s| {
+                    s.retx_in_flight = false;
+                    s.lost = true;
+                });
                 n += 1;
             }
         }
@@ -252,10 +419,12 @@ impl RtxQueue {
     /// whose marks were cleared.
     pub fn clear_sack_marks(&mut self) -> u32 {
         let mut n = 0;
-        for seg in self.segs.iter_mut() {
-            if seg.sacked {
-                seg.sacked = false;
-                seg.retx_in_flight = false;
+        for i in 0..self.segs.len() {
+            if self.segs[i].sacked {
+                self.mutate_at(i, |s| {
+                    s.sacked = false;
+                    s.retx_in_flight = false;
+                });
                 n += 1;
             }
         }
@@ -265,24 +434,57 @@ impl RtxQueue {
     /// Mark every unsacked segment lost (RTO recovery).
     pub fn mark_all_lost(&mut self) -> u32 {
         let mut n = 0;
-        for seg in self.segs.iter_mut() {
-            if !seg.sacked {
-                seg.lost = true;
-                seg.retx_in_flight = false;
+        for i in 0..self.segs.len() {
+            if !self.segs[i].sacked {
+                self.mutate_at(i, |s| {
+                    s.lost = true;
+                    s.retx_in_flight = false;
+                });
                 n += 1;
             }
         }
         n
     }
 
-    /// The next segment wanting retransmission, lowest sequence first.
-    pub fn next_retransmit(&mut self) -> Option<&mut TxSeg> {
-        self.segs.iter_mut().find(|s| s.wants_retransmit())
+    /// Whether any segment currently wants retransmission. O(1).
+    pub fn has_retransmit(&self) -> bool {
+        self.retx_wanted > 0
     }
 
-    /// The highest outstanding segment (TLP probes retransmit this).
-    pub fn last_unsacked(&mut self) -> Option<&mut TxSeg> {
-        self.segs.iter_mut().rev().find(|s| !s.sacked)
+    /// Whether a FIN is queued. O(1).
+    pub fn has_fin(&self) -> bool {
+        self.fins > 0
+    }
+
+    /// Whether every outstanding segment is SACKed. O(1).
+    pub fn all_sacked(&self) -> bool {
+        self.total.packets_out == self.total.sacked_out
+    }
+
+    /// The last (highest) outstanding segment.
+    pub fn back(&self) -> Option<&TxSeg> {
+        self.segs.back()
+    }
+
+    /// Run `f` on the next segment wanting retransmission (lowest
+    /// sequence first), re-accounting its flags afterwards. Returns
+    /// `None` (without calling `f`) when nothing wants retransmission.
+    pub fn with_next_retransmit<R>(&mut self, f: impl FnOnce(&mut TxSeg) -> R) -> Option<R> {
+        if self.retx_wanted == 0 {
+            return None;
+        }
+        let i = self.segs.iter().position(|s| s.wants_retransmit())?;
+        Some(self.mutate_at(i, f))
+    }
+
+    /// Run `f` on the highest unsacked segment (the TLP probe target),
+    /// re-accounting its flags afterwards.
+    pub fn with_last_unsacked<R>(&mut self, f: impl FnOnce(&mut TxSeg) -> R) -> Option<R> {
+        if self.all_sacked() {
+            return None;
+        }
+        let i = self.segs.iter().rposition(|s| !s.sacked)?;
+        Some(self.mutate_at(i, f))
     }
 
     /// The first (oldest) outstanding segment.
@@ -290,9 +492,11 @@ impl RtxQueue {
         self.segs.front()
     }
 
-    /// Find the segment starting exactly at `seq`.
-    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut TxSeg> {
-        self.segs.iter_mut().find(|s| s.seq == seq)
+    /// Run `f` on the segment starting exactly at `seq`, re-accounting
+    /// its flags afterwards.
+    pub fn with_seg_at<R>(&mut self, seq: SeqNum, f: impl FnOnce(&mut TxSeg) -> R) -> Option<R> {
+        let i = self.segs.iter().position(|s| s.seq == seq)?;
+        Some(self.mutate_at(i, f))
     }
 
     /// Iterate over outstanding segments in sequence order.
@@ -300,20 +504,42 @@ impl RtxQueue {
         self.segs.iter()
     }
 
-    /// Pipe counters over all segments.
+    /// Pipe counters over all segments. O(1).
     pub fn counts(&self) -> PipeCounts {
-        self.counts_where(|_| true)
+        self.total
     }
 
-    /// Pipe counters over segments matching `pred` (per-TDN views).
-    pub fn counts_where<F>(&self, pred: F) -> PipeCounts
+    /// Pipe counters summed over the TDNs matching `pred` (per-TDN
+    /// views). O(number of TDNs ever seen), not O(queue length).
+    pub fn counts_tdn<F>(&self, pred: F) -> PipeCounts
     where
-        F: Fn(&TxSeg) -> bool,
+        F: Fn(TdnId) -> bool,
     {
         let mut c = PipeCounts::default();
-        for seg in self.segs.iter().filter(|s| pred(s)) {
+        for (i, b) in self.by_tdn.iter().enumerate() {
+            if b.packets_out > 0 && pred(TdnId(i as u8)) {
+                c.packets_out += b.packets_out;
+                c.sacked_out += b.sacked_out;
+                c.lost_out += b.lost_out;
+                c.retrans_out += b.retrans_out;
+            }
+        }
+        c
+    }
+
+    /// Pipe counters for one TDN. O(1).
+    pub fn counts_for_tdn(&self, tdn: TdnId) -> PipeCounts {
+        self.by_tdn.get(tdn.index()).copied().unwrap_or_default()
+    }
+
+    /// Recompute every aggregate by scanning the queue — the reference
+    /// implementation the incremental counters are checked against in
+    /// tests.
+    pub fn recounted(&self) -> PipeCounts {
+        let mut c = PipeCounts::default();
+        for seg in self.segs.iter() {
             c.packets_out += 1;
-            if s_sacked(seg) {
+            if seg.sacked {
                 c.sacked_out += 1;
             }
             if seg.lost {
@@ -325,15 +551,6 @@ impl RtxQueue {
         }
         c
     }
-
-    /// Pipe counters for one TDN.
-    pub fn counts_for_tdn(&self, tdn: TdnId) -> PipeCounts {
-        self.counts_where(|s| s.tdn == tdn)
-    }
-}
-
-fn s_sacked(s: &TxSeg) -> bool {
-    s.sacked
 }
 
 #[cfg(test)]
@@ -445,19 +662,25 @@ mod tests {
     fn retransmit_flow() {
         let mut q = queue_of(3);
         q.mark_lost_below(SeqNum(200), |_| true);
-        {
-            let s = q.next_retransmit().expect("segment 0 wants retx");
-            assert_eq!(s.seq, SeqNum(0));
-            s.retx_in_flight = true;
-            s.retx_count += 1;
-            s.tx_time = SimTime::from_micros(99);
-        }
-        {
-            let s = q.next_retransmit().expect("segment 1 next");
-            assert_eq!(s.seq, SeqNum(100));
-            s.retx_in_flight = true;
-        }
-        assert!(q.next_retransmit().is_none());
+        assert!(q.has_retransmit());
+        let seq = q
+            .with_next_retransmit(|s| {
+                s.retx_in_flight = true;
+                s.retx_count += 1;
+                s.tx_time = SimTime::from_micros(99);
+                s.seq
+            })
+            .expect("segment 0 wants retx");
+        assert_eq!(seq, SeqNum(0));
+        let seq = q
+            .with_next_retransmit(|s| {
+                s.retx_in_flight = true;
+                s.seq
+            })
+            .expect("segment 1 next");
+        assert_eq!(seq, SeqNum(100));
+        assert!(!q.has_retransmit());
+        assert!(q.with_next_retransmit(|_| ()).is_none());
         let c = q.counts();
         assert_eq!(c.retrans_out, 2);
         assert_eq!(c.pipe(), 1 + 2); // one clean + two retransmissions
@@ -467,7 +690,7 @@ mod tests {
     fn sack_clears_lost_and_retx() {
         let mut q = queue_of(2);
         q.mark_lost_below(SeqNum(100), |_| true);
-        q.next_retransmit().unwrap().retx_in_flight = true;
+        q.with_next_retransmit(|s| s.retx_in_flight = true).unwrap();
         // The "lost" original arrives after all; SACK cleans everything.
         let newly = q.mark_sacked([(SeqNum(0), SeqNum(100))].into_iter());
         assert_eq!(newly.len(), 1);
@@ -502,7 +725,7 @@ mod tests {
         assert_eq!(q.counts().sacked_out, 0);
         q.mark_all_lost();
         let seqs: Vec<_> = std::iter::from_fn(|| {
-            q.next_retransmit().map(|s| {
+            q.with_next_retransmit(|s| {
                 s.retx_in_flight = true;
                 s.seq
             })
@@ -541,14 +764,33 @@ mod tests {
     fn last_unsacked_for_tlp() {
         let mut q = queue_of(3);
         q.mark_sacked([(SeqNum(200), SeqNum(300))].into_iter());
-        assert_eq!(q.last_unsacked().unwrap().seq, SeqNum(100));
+        assert_eq!(q.with_last_unsacked(|s| s.seq), Some(SeqNum(100)));
     }
 
     #[test]
-    fn get_mut_by_seq() {
+    fn with_seg_at_by_seq() {
         let mut q = queue_of(3);
-        assert!(q.get_mut(SeqNum(100)).is_some());
-        assert!(q.get_mut(SeqNum(150)).is_none());
+        assert!(q.with_seg_at(SeqNum(100), |_| ()).is_some());
+        assert!(q.with_seg_at(SeqNum(150), |_| ()).is_none());
+    }
+
+    #[test]
+    fn incremental_counts_match_recount() {
+        let mut q = queue_of(8);
+        q.mark_sacked([(SeqNum(200), SeqNum(400)), (SeqNum(600), SeqNum(700))].into_iter());
+        q.mark_lost_below(SeqNum(600), |s| s.tdn == TdnId(0));
+        q.with_next_retransmit(|s| s.retx_in_flight = true);
+        q.refresh_stale_retx(SimTime::from_micros(50), |_| true);
+        q.cum_ack(SeqNum(150));
+        assert_eq!(q.counts(), q.recounted(), "aggregates drifted from a scan");
+        let per: u32 = (0..2).map(|t| q.counts_for_tdn(TdnId(t)).packets_out).sum();
+        assert_eq!(per, q.counts().packets_out, "per-TDN buckets partition the total");
+        q.clear_sack_marks();
+        q.mark_all_lost();
+        assert_eq!(q.counts(), q.recounted());
+        assert!(q.has_retransmit());
+        assert!(!q.has_fin());
+        assert!(!q.all_sacked());
     }
 
     #[test]

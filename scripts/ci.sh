@@ -3,7 +3,7 @@
 # zero registry dependencies by design (see DESIGN.md), so an empty
 # cargo registry — or no network at all — must never break the build.
 #
-# Usage: scripts/ci.sh [soak|chaos|bench|lint|tails|skew]
+# Usage: scripts/ci.sh [soak|chaos|bench|bigrun|lint|tails|skew]
 #   lint  — run only detlint, the in-repo determinism & layering
 #           static-analysis pass (DESIGN.md §10): no HashMap/HashSet
 #           iteration, no unannotated wall-clock reads, no ad-hoc RNG
@@ -27,6 +27,16 @@
 #           25% events/sec vs its baseline median fails the gate.
 #           After a deliberate perf change, refresh the baselines by
 #           copying the freshly written files over the checked-in ones.
+#   bigrun — run the large-multirack engine gate (bench/bin/bigrun):
+#           16 racks x 48 TDTCP flows, serial engine vs the sharded
+#           engine at workers 1/2/4. Fails if the sharded digests
+#           diverge across worker counts or the sharded engine misses
+#           its hardware-aware throughput floor (3x at workers=4 on
+#           >=4-CPU hosts; algorithmic w1>=1.25x floor on narrower
+#           ones), then benchgates the fresh BENCH_bigrun.json against
+#           the checked-in baseline (>50% ns/event regression fails;
+#           wider than the 25% microbench budget because engine-level
+#           wall-clock timings see scheduler noise on shared hosts).
 #   tails — run the tail-latency acceptance suite (tests/tails.rs +
 #           the tailgate failure-path tests), regenerate the FCT rows
 #           with `figures tails`, and gate p99/p999 against the
@@ -89,6 +99,26 @@ if [[ "$MODE" == "bench" ]]; then
     done
     echo "BENCH OK (refresh baselines after deliberate perf changes:"
     echo "          cp $NEW_DIR/BENCH_*.json .)"
+    exit 0
+fi
+
+if [[ "$MODE" == "bigrun" ]]; then
+    NEW="$(mktemp -d)/BENCH_bigrun.json"
+    echo "==> bigrun (sharded-engine digest + throughput gate)"
+    cargo run -q --offline --release -p bench --bin bigrun -- --json "$NEW"
+    if [[ -f BENCH_bigrun.json ]]; then
+        # Engine-level wall-clock timings swing far more than the pinned
+        # microbenches on shared hosts (threaded runs contend with
+        # whatever else the machine is doing), so this gate gets a 50%
+        # budget instead of the microbench 25%: it still catches a real
+        # 2x regression without flaking on scheduler noise.
+        echo "==> perf-regression gate (>50% ns/event loss vs checked-in BENCH_bigrun.json fails)"
+        cargo run -q --offline --release -p bench --bin benchgate -- \
+            --max-loss-pct 50 BENCH_bigrun.json "$NEW"
+    else
+        echo "no checked-in baseline BENCH_bigrun.json — seed one with: cp $NEW ."
+    fi
+    echo "BIGRUN OK"
     exit 0
 fi
 

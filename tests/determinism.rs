@@ -338,6 +338,66 @@ fn inert_clock_plan_leaves_clean_digest_unchanged() {
     }
 }
 
+/// PR 9's intra-run parallelism contract: a chaotic multirack run —
+/// notification faults, data-path impairments, and clock skew all armed
+/// at once — produces **bit-identical** results under the sharded
+/// engine at workers 1, 2 and 4. The digest folds every stats counter,
+/// the FCT multiset, and the per-rack fault/impair/clock log digests in
+/// fixed rack order, so any worker-count-dependent reordering anywhere
+/// in the engine would surface here.
+#[test]
+fn sharded_chaos_run_is_worker_count_invariant() {
+    fn chaotic_cfg() -> rdcn::ShardConfig {
+        let net = rdcn::MultiRackConfig {
+            racks: 8,
+            ..rdcn::MultiRackConfig::paper_8rack()
+        };
+        rdcn::ShardConfig {
+            faults: rdcn::FaultPlan::notification_loss(0.05),
+            impair: busy_impair_plan(),
+            clock: busy_clock_plan(),
+            guard_band: SimDuration::from_micros(1),
+            ..rdcn::ShardConfig::clean(net)
+        }
+    }
+    let flows: Vec<rdcn::PairFlow> = (0..8)
+        .map(|r| rdcn::PairFlow {
+            src: r,
+            dst: (r + 1) % 8,
+        })
+        .collect();
+    let run = |workers: usize| {
+        rdcn::ShardedEmulator::new(chaotic_cfg(), flows.clone(), |i, _| {
+            let cfg = TdtcpConfig::default();
+            let template = Cubic::new(CcConfig::default());
+            (
+                Box::new(TdtcpConnection::connect(
+                    FlowId(i as u32),
+                    cfg.clone(),
+                    &template,
+                    SimTime::ZERO,
+                )) as Box<dyn Transport + Send>,
+                Box::new(TdtcpConnection::listen(FlowId(i as u32), cfg, &template))
+                    as Box<dyn Transport + Send>,
+            )
+        })
+        .run(SimTime::from_millis(4), workers)
+    };
+    let base = run(1);
+    assert!(base.faults_total > 0, "fault plane never fired");
+    assert!(base.impairments_total > 0, "impair plane never fired");
+    assert!(base.clock_total > 0, "clock plane never fired");
+    for workers in [2usize, 4] {
+        let other = run(workers);
+        assert_eq!(
+            base.stats_digest(),
+            other.stats_digest(),
+            "sharded chaos digest diverged between workers=1 and workers={workers}"
+        );
+        assert_eq!(base.events, other.events, "event count drifted at workers={workers}");
+    }
+}
+
 /// Skewed runs shard like clean ones: mapping a (variant, seed) grid
 /// through `par_map_jobs` under any job count reproduces the serial
 /// digests exactly — per-host clock state lives inside each run, so
