@@ -1,0 +1,58 @@
+//! detlint throughput benchmarks: the lint pass runs inside every CI
+//! gate, so its cost is part of the edit-compile-test loop. The
+//! workspace is read into memory once; the benches then measure the
+//! pure analysis pipeline (no filesystem in the timed region). Runs on
+//! the testkit microbench harness and writes `BENCH_detlint.json`,
+//! gated by benchgate in `scripts/ci.sh bench`.
+
+use std::path::Path;
+use testkit::bench::bb;
+use testkit::BenchSuite;
+
+fn main() {
+    // CARGO_MANIFEST_DIR = crates/detlint; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    assert!(root.join("ROADMAP.md").exists(), "workspace root not found");
+    let sources = detlint::collect_sources(root).expect("read workspace");
+    let total_bytes: usize = sources.iter().map(|s| s.contents.len()).sum();
+    eprintln!(
+        "bench detlint: {} files, {} KiB in memory",
+        sources.len(),
+        total_bytes / 1024
+    );
+
+    let mut suite = BenchSuite::new("detlint");
+
+    suite.bench("lex_workspace", || {
+        let mut tokens = 0usize;
+        for s in &sources {
+            if !s.rel_path.ends_with("Cargo.toml") {
+                tokens += detlint::lexer::lex_full(bb(&s.contents)).tokens.len();
+            }
+        }
+        tokens
+    });
+
+    suite.bench("parse_workspace", || {
+        let mut items = 0usize;
+        for s in &sources {
+            if !s.rel_path.ends_with("Cargo.toml") {
+                let lexed = detlint::lexer::lex_full(bb(&s.contents));
+                let parsed = detlint::parser::parse_file(&lexed.tokens);
+                items += parsed.fns.len() + parsed.structs.len() + parsed.consts.len();
+            }
+        }
+        items
+    });
+
+    suite.bench("full_workspace_scan", || {
+        let report = detlint::analyze(bb(&sources));
+        (report.files_scanned, report.findings.len(), report.suppressed)
+    });
+
+    suite.finish();
+}

@@ -1,0 +1,7 @@
+// Clean counterpart: config-seeded, label-forked randomness.
+
+const JITTER_STREAM_LABEL: u64 = 0x7177;
+
+fn rng_for(cfg_seed: u64) -> DetRng {
+    DetRng::new(cfg_seed).fork(JITTER_STREAM_LABEL)
+}

@@ -1,0 +1,8 @@
+// Clean counterpart: the suppression carries a written reason and hits
+// a live finding.
+
+fn membership(xs: &[u64]) -> bool {
+    // detlint: allow(unordered_iter) — fixture: membership probe only, never iterated
+    let set: HashSet<u64> = xs.iter().copied().collect();
+    set.contains(&3)
+}

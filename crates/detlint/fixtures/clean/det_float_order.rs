@@ -1,0 +1,9 @@
+// Clean counterpart: floats accumulate in explicit Vec order.
+
+fn mean(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total / xs.len() as f64
+}

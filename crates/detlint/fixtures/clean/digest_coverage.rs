@@ -1,0 +1,13 @@
+// Clean counterpart: every pub counter appears in the fold.
+
+pub struct CleanStats {
+    pub sent: u64,
+    pub lost: u64,
+}
+
+impl CleanStats {
+    pub fn write_digest(&self, d: &mut Digest) {
+        d.u64(self.sent);
+        d.u64(self.lost);
+    }
+}

@@ -1,0 +1,5 @@
+//! Clean counterpart: the crate root carries the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn entry() {}

@@ -1,0 +1,32 @@
+// Clean counterpart: leader-only cross-shard access, fixed-order
+// integer fold over the drains.
+
+pub struct ShardedEmulator {
+    shards: Vec<RackShard>,
+}
+
+pub struct OutMsg {
+    pub dst: usize,
+}
+
+pub struct RackShard {
+    pub outbox: Vec<OutMsg>,
+}
+
+impl ShardedEmulator {
+    pub fn drain(&mut self) -> u64 {
+        let mut events = 0u64;
+        for src in 0..self.shards.len() {
+            let msgs = std::mem::take(&mut self.shards[src].outbox);
+            for m in msgs {
+                events += 1;
+                self.shards[m.dst].push(m);
+            }
+        }
+        events
+    }
+}
+
+impl RackShard {
+    fn push(&mut self, _m: OutMsg) {}
+}

@@ -1,0 +1,11 @@
+// Clean counterpart: unique labels, declared constants at fork sites.
+
+pub const FAULT_STREAM_LABEL: u64 = 0xFA17;
+pub const IMPAIR_STREAM_LABEL: u64 = 0xDA7A;
+pub const RACK_STREAM_BASE: u64 = 0x5AAD_0000;
+
+fn forks(rng: &DetRng, rack: u64) {
+    let _ = rng.fork(FAULT_STREAM_LABEL);
+    let _ = rng.fork(IMPAIR_STREAM_LABEL);
+    let _ = rng.fork(RACK_STREAM_BASE + rack);
+}

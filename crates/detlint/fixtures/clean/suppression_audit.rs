@@ -1,0 +1,7 @@
+// Clean counterpart: every directive still suppresses a live finding.
+
+fn probe(xs: &[u64]) -> bool {
+    // detlint: allow(unordered_iter) — fixture: membership probe, no iteration
+    let seen: HashSet<u64> = xs.iter().copied().collect();
+    seen.contains(&1)
+}

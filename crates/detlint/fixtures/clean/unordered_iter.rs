@@ -1,0 +1,11 @@
+// Clean counterpart: ordered collections only.
+
+use std::collections::BTreeMap;
+
+fn tally(xs: &[u64]) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,5 @@
+// Clean counterpart: simulated time drives everything.
+
+fn deadline(clock: &SimClock, delta_ns: u64) -> u64 {
+    clock.now_ns() + delta_ns
+}

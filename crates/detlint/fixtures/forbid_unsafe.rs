@@ -1,0 +1,3 @@
+// Fixture: forbid_unsafe — a crate root missing #![forbid(unsafe_code)].
+
+pub fn entry() {}

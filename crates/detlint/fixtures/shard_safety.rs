@@ -1,0 +1,42 @@
+// Fixture: shard_safety — only the leader type (owner of `shards`) may
+// touch other shards' state, and mailbox drains must not fold floats
+// through iterators (only the explicit (src, dst) order is sanctioned).
+pub struct ShardedEmulator {
+    shards: Vec<RackShard>,
+}
+
+pub struct OutMsg {
+    pub dst: usize,
+    pub bytes: u64,
+}
+
+pub struct RackShard {
+    pub outbox: Vec<OutMsg>,
+    pub goodput: f64,
+}
+
+impl ShardedEmulator {
+    // Leader drain in fixed (src, dst) order: sanctioned.
+    pub fn drain(&mut self) {
+        for src in 0..self.shards.len() {
+            let msgs = std::mem::take(&mut self.shards[src].outbox);
+            for m in msgs {
+                self.shards[m.dst].accept(m);
+            }
+        }
+    }
+}
+
+impl RackShard {
+    fn accept(&mut self, _m: OutMsg) {}
+
+    // VIOLATION: a shard reaching around the mailbox into the world.
+    pub fn cheat(&mut self, world: &mut ShardedEmulator) {
+        world.shards[0].goodput = 1.0;
+    }
+
+    // VIOLATION: iterator float fold over a mailbox drain.
+    pub fn fold_outbox(&self) -> f64 {
+        self.outbox.iter().map(|m| m.bytes as f64).sum::<f64>()
+    }
+}

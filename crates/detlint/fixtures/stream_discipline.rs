@@ -1,0 +1,20 @@
+// Fixture: stream_discipline — stream label constants must be unique by
+// name and value, and fork() call sites must pass declared labels.
+pub const FAULT_STREAM_LABEL: u64 = 0xFA17;
+pub const CLOCK_STREAM_LABEL: u64 = 0xC10C;
+pub const DUPLICATE_STREAM_LABEL: u64 = 0xFA17;
+
+fn forks(rng: &DetRng) {
+    let _ = rng.fork(FAULT_STREAM_LABEL); // declared label: fine
+    let _ = rng.fork(0xBAD); // inline magic number: fires
+    let _ = rng.fork(GHOST_STREAM_LABEL); // never declared: fires
+    let _ = rng.fork(CLOCK_STREAM_LABEL + 2); // declared base + offset: fine
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_fork_ad_hoc() {
+        let _ = DetRng::new(1).fork(7);
+    }
+}

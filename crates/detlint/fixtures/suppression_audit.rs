@@ -1,0 +1,13 @@
+// Fixture: suppression_audit — an allow whose rule can no longer fire
+// in its scope is stale and must be removed.
+
+// detlint: allow(wall_clock) — fixture: the clock read below was deleted
+fn no_clocks_here() -> u64 {
+    42
+}
+
+fn real_site(events: &[u64]) -> bool {
+    // detlint: allow(unordered_iter) — fixture: membership probe only
+    let seen: HashSet<u64> = events.iter().copied().collect();
+    seen.contains(&7)
+}

@@ -1,0 +1,8 @@
+// Cross-file fixture (pair with digest_stats.rs): the fold covers
+// `forwarded` but forgets `dropped` — v1's same-file search could not
+// see this struct at all.
+impl InjectorStats for RelayStats {
+    fn write_digest(&self, d: &mut Digest) {
+        d.u64(self.forwarded);
+    }
+}

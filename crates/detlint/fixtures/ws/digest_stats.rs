@@ -1,0 +1,6 @@
+// Cross-file fixture (pair with digest_fold.rs): the struct lives here,
+// its write_digest fold in the other file (statfold-style trait impl).
+pub struct RelayStats {
+    pub forwarded: u64,
+    pub dropped: u64,
+}

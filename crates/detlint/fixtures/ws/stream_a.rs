@@ -1,0 +1,3 @@
+// Cross-file fixture (pair with stream_b.rs): this file's label is the
+// original declaration.
+pub const FAULT_STREAM_LABEL: u64 = 0xFA17;

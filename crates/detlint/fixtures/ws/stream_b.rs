@@ -1,0 +1,3 @@
+// Cross-file fixture (pair with stream_a.rs): a different crate reuses
+// the same label value — no single file shows the collision.
+pub const IMPAIR_STREAM_LABEL: u64 = 0xFA17;

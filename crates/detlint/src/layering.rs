@@ -59,9 +59,19 @@ fn never_depended_on(package: &str, dep: &str) -> bool {
 }
 
 /// Check one `Cargo.toml`. Returns (unsuppressed findings, suppressed
-/// count); `# detlint: allow(layer_deps) — reason` works on the
-/// offending dependency line like any other directive.
+/// count); an `allow(layer_deps)` suppression (a `detlint:` comment
+/// directive with a reason) works on the offending dependency line like
+/// any other directive.
 pub fn check_manifest(rel_path: &str, contents: &str) -> (Vec<Finding>, usize) {
+    let findings = check_manifest_raw(rel_path, contents);
+    let directives = suppress::parse(contents);
+    suppress::apply(rel_path, &directives, findings)
+}
+
+/// The layering checks alone, before suppression — the workspace
+/// analyzer applies directives centrally so the stale-suppression audit
+/// sees every hit count.
+pub fn check_manifest_raw(rel_path: &str, contents: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut section = String::new();
     let mut package: Option<String> = None;
@@ -81,7 +91,7 @@ pub fn check_manifest(rel_path: &str, contents: &str) -> (Vec<Finding>, usize) {
     let Some(package) = package else {
         // A virtual manifest (workspace-only) declares no package and
         // has no dependency sections of its own to check.
-        return (findings, 0);
+        return findings;
     };
     let allowed: Option<&[&str]> = LAYERS
         .iter()
@@ -151,8 +161,7 @@ pub fn check_manifest(rel_path: &str, contents: &str) -> (Vec<Finding>, usize) {
         }
     }
 
-    let directives = suppress::parse(contents);
-    suppress::apply(rel_path, &directives, findings)
+    findings
 }
 
 /// Parse the dependency name from a manifest line like

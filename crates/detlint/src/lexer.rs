@@ -5,9 +5,12 @@
 //!
 //! The rule engine works on the identifier/punctuation stream this
 //! produces, so anything inside a comment or string literal can never
-//! trigger (or suppress) a finding at the token level. Suppression
-//! directives are deliberately parsed from raw lines instead (see
-//! [`crate::suppress`]): they live *in* comments.
+//! trigger (or suppress) a finding at the token level. Comments are not
+//! merely dropped, though: [`lex_full`] returns them as per-line
+//! [`Comment`] records so [`crate::suppress`] can parse `detlint:`
+//! directives from *actual* comment text — directive-shaped strings in
+//! test source (fixture literals and the like) can no longer masquerade
+//! as suppressions.
 
 /// What a token is. Literal payloads are dropped except where a rule
 /// needs them (identifier names, integer literal text).
@@ -39,6 +42,27 @@ pub struct Token {
     pub line: u32,
 }
 
+/// One physical line of comment text. Multi-line block comments are
+/// split into one record per line so suppression directives keep their
+/// exact source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line this comment text appears on.
+    pub line: u32,
+    /// The comment text for this line, including the `//` / `/*`
+    /// opener where it appears on this line.
+    pub text: String,
+}
+
+/// Tokens plus comments for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comment text, one record per physical comment line.
+    pub comments: Vec<Comment>,
+}
+
 fn is_ident_start(c: char) -> bool {
     c.is_alphabetic() || c == '_'
 }
@@ -47,12 +71,20 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Tokenize `src`. The lexer never fails: malformed input degrades to
-/// punctuation tokens rather than an error, which is the right posture
-/// for a linter that must keep scanning the rest of the file.
+/// Tokenize `src`, dropping comments. See [`lex_full`] when the
+/// comment text matters (suppression parsing).
 pub fn lex(src: &str) -> Vec<Token> {
+    lex_full(src).tokens
+}
+
+/// Tokenize `src`, returning both the token stream and every comment.
+/// The lexer never fails: malformed input degrades to punctuation
+/// tokens rather than an error, which is the right posture for a linter
+/// that must keep scanning the rest of the file.
+pub fn lex_full(src: &str) -> Lexed {
     let b: Vec<char> = src.chars().collect();
     let mut out = Vec::new();
+    let mut comments = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
 
@@ -70,13 +102,22 @@ pub fn lex(src: &str) -> Vec<Token> {
         }
         // Line comment.
         if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i;
             while i < b.len() && b[i] != '\n' {
                 i += 1;
             }
+            comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
             continue;
         }
-        // Block comment — Rust block comments nest.
+        // Block comment — Rust block comments nest. Emitted as one
+        // Comment record per physical line so directives inside keep
+        // their exact source line.
         if c == '/' && b.get(i + 1) == Some(&'*') {
+            let start = i;
+            let start_line = line;
             let mut depth = 1usize;
             i += 2;
             while i < b.len() && depth > 0 {
@@ -92,6 +133,13 @@ pub fn lex(src: &str) -> Vec<Token> {
                 } else {
                     i += 1;
                 }
+            }
+            let text: String = b[start..i].iter().collect();
+            for (off, part) in text.split('\n').enumerate() {
+                comments.push(Comment {
+                    line: start_line + off as u32,
+                    text: part.to_string(),
+                });
             }
             continue;
         }
@@ -160,7 +208,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         out.push(Token { kind: Tok::Punct(c), line });
         i += 1;
     }
-    out
+    Lexed { tokens: out, comments }
 }
 
 /// Skip a cooked (escapable) string body starting just after the opening
@@ -338,5 +386,32 @@ mod tests {
         assert_eq!(names, vec!["let", "s", "after"]);
         // `after` is on line 2 because the string spans a newline.
         assert_eq!(ids.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_text_and_line() {
+        let lexed = lex_full("a(); // first\nb(); // second");
+        let got: Vec<(u32, &str)> = lexed
+            .comments
+            .iter()
+            .map(|c| (c.line, c.text.as_str()))
+            .collect();
+        assert_eq!(got, vec![(1, "// first"), (2, "// second")]);
+    }
+
+    #[test]
+    fn block_comments_split_per_line() {
+        let lexed = lex_full("/* one\n   two\n   three */ x");
+        let lines: Vec<u32> = lexed.comments.iter().map(|c| c.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+        assert!(lexed.comments[1].text.contains("two"));
+        // The token after the block comment keeps the right line.
+        assert_eq!(lexed.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn directive_shaped_strings_are_not_comments() {
+        let lexed = lex_full("let s = \"// detlint: allow(wall_clock)\";");
+        assert!(lexed.comments.is_empty());
     }
 }

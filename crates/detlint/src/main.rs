@@ -1,6 +1,6 @@
-//! `detlint` CLI — scan the workspace, print findings, optionally write
-//! the machine-readable report, exit non-zero on any unsuppressed
-//! finding.
+//! `detlint` CLI — scan the workspace, print findings plus per-rule
+//! counts and timing, optionally write the machine-readable report,
+//! exit non-zero on any unsuppressed finding.
 //!
 //! ```text
 //! detlint [--root DIR] [--json PATH]
@@ -34,6 +34,9 @@ fn main() -> ExitCode {
         }
     }
 
+    // detlint: allow(wall_clock) — lint wall time is perf reporting for
+    // the CI log, not simulator behaviour.
+    let t0 = std::time::Instant::now();
     let report = match detlint::run(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -41,8 +44,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let elapsed = t0.elapsed();
 
     print!("{}", report.render());
+    println!(
+        "detlint: scanned {} files in {:.1} ms",
+        report.files_scanned,
+        elapsed.as_secs_f64() * 1e3
+    );
     if let Some(path) = json {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {

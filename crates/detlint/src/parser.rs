@@ -1,0 +1,673 @@
+//! A lightweight item-level parser on top of the lexer.
+//!
+//! This is not a Rust grammar: it recognizes just the item skeleton the
+//! workspace rules need — `const`s (with literal values), `struct`s and
+//! their fields, `impl` blocks (inherent and trait), `fn`s with their
+//! body token spans, and `use` paths. Function bodies are *skipped* for
+//! item collection (a body's statements never declare workspace-visible
+//! symbols we check), and trait declaration blocks are skipped entirely
+//! (only impls carry real fold code in this workspace). Everything the
+//! parser does not understand degrades to "advance one token", so
+//! malformed or exotic source can never abort a scan.
+//!
+//! Items carry token-index spans into the file's token vector so rules
+//! can re-scan exactly the region they care about (a method body, a
+//! const initializer) without re-lexing.
+
+use crate::lexer::{Tok, Token};
+
+/// A `const NAME: T = value;` item (module level or inside an impl).
+#[derive(Debug, Clone)]
+pub struct ConstInfo {
+    /// Constant name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// The evaluated value when the initializer is a single integer
+    /// literal (`0xFA17`, `1_000u64`); `None` for anything computed.
+    pub value: Option<u64>,
+}
+
+/// One named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Declared with `pub` (any visibility flavor).
+    pub is_pub: bool,
+    /// First identifier of the field's type (`u64`, `Vec`, …).
+    pub ty: String,
+    /// The type is a single bare identifier (`u64`, not `Vec<u64>` or
+    /// `[u64; 4]`) — what the digest-coverage counter criterion needs.
+    pub ty_is_simple: bool,
+}
+
+/// A `struct` item with its named fields (tuple/unit structs keep an
+/// empty field list).
+#[derive(Debug, Clone)]
+pub struct StructInfo {
+    /// Struct name.
+    pub name: String,
+    /// 1-based declaration line.
+    pub line: u32,
+    /// Declared `pub` (any visibility flavor).
+    pub is_pub: bool,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldInfo>,
+}
+
+/// An `impl` block header: `impl Ty` or `impl Trait for Ty`.
+#[derive(Debug, Clone)]
+pub struct ImplInfo {
+    /// The implementing type (last path segment).
+    pub ty: String,
+    /// The trait being implemented, if any (last path segment).
+    pub trait_name: Option<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+}
+
+/// A function, free or method. Methods record their impl's type.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// `Some(type)` when declared inside an `impl` block.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index span of the body: `(open, close)` indices of the
+    /// braces, inclusive. `open == close` means no body (a signature).
+    pub body: (usize, usize),
+}
+
+/// A `use` declaration, flattened to its identifier segments.
+#[derive(Debug, Clone)]
+pub struct UseInfo {
+    /// Identifier segments in source order (`use a::b::{c, d}` yields
+    /// `[a, b, c, d]`).
+    pub segments: Vec<String>,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// Item skeleton of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Module-level and impl-level constants.
+    pub consts: Vec<ConstInfo>,
+    /// Struct declarations.
+    pub structs: Vec<StructInfo>,
+    /// Impl block headers.
+    pub impls: Vec<ImplInfo>,
+    /// All functions (free and methods), flattened.
+    pub fns: Vec<FnInfo>,
+    /// Use declarations.
+    pub uses: Vec<UseInfo>,
+    /// Line of the first `#[cfg(test)]` attribute; everything at or
+    /// after it is treated as test code (same convention as the
+    /// per-file rules).
+    pub cfg_test_line: Option<u32>,
+}
+
+/// Parse the item skeleton from a token stream.
+pub fn parse_file(toks: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    parse_items(toks, 0, toks.len(), None, &mut out);
+    out
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// From `i` at an opening delimiter, return the index just past its
+/// matching closer. Tolerates truncation (returns `end`).
+fn skip_balanced(toks: &[Token], mut i: usize, open: char, close: char, end: usize) -> usize {
+    debug_assert!(punct_at(toks, i, open));
+    let mut depth = 0usize;
+    while i < end {
+        if punct_at(toks, i, open) {
+            depth += 1;
+        } else if punct_at(toks, i, close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    end
+}
+
+/// Advance past one `#[...]` or `#![...]` attribute starting at `i`
+/// (the `#`). Records `#[cfg(test)]` in `out`.
+fn skip_attr(toks: &[Token], mut i: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let attr_start = i;
+    i += 1;
+    if punct_at(toks, i, '!') {
+        i += 1;
+    }
+    if !punct_at(toks, i, '[') {
+        return i;
+    }
+    let close = skip_balanced(toks, i, '[', ']', end);
+    if ident_at(toks, i + 1) == Some("cfg")
+        && punct_at(toks, i + 2, '(')
+        && ident_at(toks, i + 3) == Some("test")
+        && out.cfg_test_line.is_none()
+    {
+        out.cfg_test_line = Some(toks[attr_start].line);
+    }
+    close
+}
+
+/// Parse items in `toks[i..end]`. `owner` is the enclosing impl's type
+/// name, if any.
+fn parse_items(
+    toks: &[Token],
+    mut i: usize,
+    end: usize,
+    owner: Option<&str>,
+    out: &mut ParsedFile,
+) {
+    while i < end {
+        if punct_at(toks, i, '#') {
+            i = skip_attr(toks, i, end, out);
+            continue;
+        }
+        let Some(word) = ident_at(toks, i) else {
+            // A stray delimiter at item level (extern blocks, macro
+            // bodies we fell into) — skip it wholesale so its contents
+            // are not misread as items.
+            if punct_at(toks, i, '{') {
+                i = skip_balanced(toks, i, '{', '}', end);
+            } else {
+                i += 1;
+            }
+            continue;
+        };
+        match word {
+            // `const fn` / `const unsafe fn` are functions, not consts —
+            // step over the qualifier and let the `fn` arm handle them.
+            "const" | "static"
+                if matches!(
+                    ident_at(toks, i + 1),
+                    Some("fn") | Some("unsafe") | Some("extern") | Some("async") | Some("mut")
+                ) =>
+            {
+                i += 1
+            }
+            "const" | "static" => i = parse_const(toks, i, end, out),
+            "struct" => i = parse_struct(toks, i, end, out),
+            "enum" | "union" => i = skip_named_block(toks, i, end),
+            "trait" => i = skip_named_block(toks, i, end),
+            "impl" => i = parse_impl(toks, i, end, out),
+            "fn" => i = parse_fn(toks, i, end, owner, out),
+            "mod" => {
+                // `mod name;` or `mod name { items }` — recurse into the
+                // body; the enclosing impl owner cannot cross a module
+                // boundary.
+                let mut j = i + 1;
+                while j < end && !punct_at(toks, j, '{') && !punct_at(toks, j, ';') {
+                    j += 1;
+                }
+                if punct_at(toks, j, '{') {
+                    let close = skip_balanced(toks, j, '{', '}', end);
+                    parse_items(toks, j + 1, close.saturating_sub(1), None, out);
+                    i = close;
+                } else {
+                    i = j + 1;
+                }
+            }
+            "use" => {
+                let line = toks[i].line;
+                let mut segments = Vec::new();
+                let mut j = i + 1;
+                while j < end && !punct_at(toks, j, ';') {
+                    if let Some(s) = ident_at(toks, j) {
+                        segments.push(s.to_string());
+                    }
+                    j += 1;
+                }
+                out.uses.push(UseInfo { segments, line });
+                i = j + 1;
+            }
+            "macro_rules" => {
+                // macro_rules! name { arbitrary token trees } — the body
+                // would badly confuse item parsing, skip it whole.
+                i = skip_named_block(toks, i, end);
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Skip `keyword Name … { … }` or `keyword Name …;` without looking
+/// inside (enums, unions, traits, macro_rules).
+fn skip_named_block(toks: &[Token], mut i: usize, end: usize) -> usize {
+    while i < end && !punct_at(toks, i, '{') && !punct_at(toks, i, ';') {
+        // Generic parameter lists can contain braces in const-generic
+        // defaults; skip them balanced.
+        if punct_at(toks, i, '<') {
+            i = skip_balanced(toks, i, '<', '>', end);
+        } else {
+            i += 1;
+        }
+    }
+    if punct_at(toks, i, '{') {
+        skip_balanced(toks, i, '{', '}', end)
+    } else {
+        (i + 1).min(end)
+    }
+}
+
+/// Parse a single integer literal's value: `0xFA17`, `1_000u64`,
+/// `0b1010`, plain decimal. `None` for anything else.
+fn int_value(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = if let Some(d) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (16, d)
+    } else if let Some(d) = t.strip_prefix("0o") {
+        (8, d)
+    } else if let Some(d) = t.strip_prefix("0b") {
+        (2, d)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a type suffix (u64, usize, i32 …): digits up to the first
+    // char that is not valid in this radix.
+    let valid = |c: char| c.is_digit(radix);
+    let end = digits.find(|c| !valid(c)).unwrap_or(digits.len());
+    let (num, suffix) = digits.split_at(end);
+    if num.is_empty() {
+        return None;
+    }
+    // A real suffix starts with u/i; anything else (e.g. the `e` of a
+    // float exponent) means this was not an integer literal.
+    if !suffix.is_empty() && !suffix.starts_with('u') && !suffix.starts_with('i') {
+        return None;
+    }
+    u64::from_str_radix(num, radix).ok()
+}
+
+fn parse_const(toks: &[Token], i: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let Some(name) = ident_at(toks, i + 1) else {
+        return i + 1;
+    };
+    let line = toks[i + 1].line;
+    let name = name.to_string();
+    // Find `=` at delimiter depth 0, then collect initializer tokens to
+    // the closing `;`.
+    let mut j = i + 2;
+    while j < end && !punct_at(toks, j, '=') && !punct_at(toks, j, ';') {
+        if punct_at(toks, j, '<') {
+            j = skip_balanced(toks, j, '<', '>', end);
+        } else if punct_at(toks, j, '[') {
+            j = skip_balanced(toks, j, '[', ']', end);
+        } else {
+            j += 1;
+        }
+    }
+    if !punct_at(toks, j, '=') {
+        out.consts.push(ConstInfo { name, line, value: None });
+        return (j + 1).min(end);
+    }
+    let init_start = j + 1;
+    let mut k = init_start;
+    while k < end && !punct_at(toks, k, ';') {
+        if punct_at(toks, k, '{') {
+            k = skip_balanced(toks, k, '{', '}', end);
+        } else if punct_at(toks, k, '(') {
+            k = skip_balanced(toks, k, '(', ')', end);
+        } else if punct_at(toks, k, '[') {
+            k = skip_balanced(toks, k, '[', ']', end);
+        } else {
+            k += 1;
+        }
+    }
+    let value = match &toks[init_start..k] {
+        [Token { kind: Tok::IntLit(text), .. }] => int_value(text),
+        _ => None,
+    };
+    out.consts.push(ConstInfo { name, line, value });
+    (k + 1).min(end)
+}
+
+fn parse_struct(toks: &[Token], i: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let Some(name) = ident_at(toks, i + 1) else {
+        return i + 1;
+    };
+    let line = toks[i + 1].line;
+    let name = name.to_string();
+    // Visibility sits just before `struct`: `pub struct` or
+    // `pub(crate) struct` / `pub(super) struct`.
+    let is_pub = i >= 1 && ident_at(toks, i - 1) == Some("pub")
+        || i >= 4
+            && punct_at(toks, i - 1, ')')
+            && punct_at(toks, i - 3, '(')
+            && ident_at(toks, i - 4) == Some("pub");
+    let mut j = i + 2;
+    if punct_at(toks, j, '<') {
+        j = skip_balanced(toks, j, '<', '>', end);
+    }
+    // Skip a where clause up to the body/terminator.
+    while j < end && !punct_at(toks, j, '{') && !punct_at(toks, j, '(') && !punct_at(toks, j, ';') {
+        j += 1;
+    }
+    let mut fields = Vec::new();
+    let next = if punct_at(toks, j, '{') {
+        let close = skip_balanced(toks, j, '{', '}', end);
+        parse_fields(toks, j + 1, close.saturating_sub(1), &mut fields);
+        close
+    } else if punct_at(toks, j, '(') {
+        // Tuple struct — unnamed fields, then `;`.
+        let close = skip_balanced(toks, j, '(', ')', end);
+        (close + 1).min(end)
+    } else {
+        (j + 1).min(end)
+    };
+    out.structs.push(StructInfo { name, line, is_pub, fields });
+    next
+}
+
+/// Parse `pub? name: Type,` fields in `toks[i..end]` (inside the struct
+/// braces).
+fn parse_fields(toks: &[Token], mut i: usize, end: usize, out: &mut Vec<FieldInfo>) {
+    while i < end {
+        // Skip attributes on the field.
+        if punct_at(toks, i, '#') {
+            i += 1;
+            if punct_at(toks, i, '[') {
+                i = skip_balanced(toks, i, '[', ']', end);
+            }
+            continue;
+        }
+        let mut is_pub = false;
+        if ident_at(toks, i) == Some("pub") {
+            is_pub = true;
+            i += 1;
+            if punct_at(toks, i, '(') {
+                // pub(crate), pub(super), …
+                i = skip_balanced(toks, i, '(', ')', end);
+            }
+        }
+        let Some(fname) = ident_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !punct_at(toks, i + 1, ':') {
+            i += 1;
+            continue;
+        }
+        let fline = toks[i].line;
+        let fname = fname.to_string();
+        // The type runs to the next `,` at depth 0; its first identifier
+        // names the head type.
+        let mut j = i + 2;
+        let mut ty = String::new();
+        let mut ty_tokens = 0usize;
+        while j < end && !punct_at(toks, j, ',') {
+            if ty.is_empty() {
+                if let Some(t) = ident_at(toks, j) {
+                    ty = t.to_string();
+                }
+            }
+            ty_tokens += 1;
+            if punct_at(toks, j, '<') {
+                j = skip_balanced(toks, j, '<', '>', end);
+            } else if punct_at(toks, j, '(') {
+                j = skip_balanced(toks, j, '(', ')', end);
+            } else if punct_at(toks, j, '[') {
+                j = skip_balanced(toks, j, '[', ']', end);
+            } else {
+                j += 1;
+            }
+        }
+        let ty_is_simple = ty_tokens == 1 && !ty.is_empty();
+        out.push(FieldInfo { name: fname, line: fline, is_pub, ty, ty_is_simple });
+        i = (j + 1).min(end);
+    }
+}
+
+fn parse_impl(toks: &[Token], i: usize, end: usize, out: &mut ParsedFile) -> usize {
+    let line = toks[i].line;
+    let mut j = i + 1;
+    if punct_at(toks, j, '<') {
+        j = skip_balanced(toks, j, '<', '>', end);
+    }
+    // First path: trait in `impl Trait for Ty`, or the type itself.
+    let mut first_last = String::new();
+    let mut second_last = String::new();
+    let mut saw_for = false;
+    while j < end && !punct_at(toks, j, '{') {
+        if let Some(s) = ident_at(toks, j) {
+            if s == "for" {
+                saw_for = true;
+                j += 1;
+                continue;
+            }
+            if s == "where" {
+                // Bounds until the body — no more path segments.
+                while j < end && !punct_at(toks, j, '{') {
+                    if punct_at(toks, j, '<') {
+                        j = skip_balanced(toks, j, '<', '>', end);
+                    } else {
+                        j += 1;
+                    }
+                }
+                break;
+            }
+            if saw_for {
+                second_last = s.to_string();
+            } else {
+                first_last = s.to_string();
+            }
+            j += 1;
+            continue;
+        }
+        if punct_at(toks, j, '<') {
+            j = skip_balanced(toks, j, '<', '>', end);
+        } else if punct_at(toks, j, '(') {
+            j = skip_balanced(toks, j, '(', ')', end);
+        } else {
+            j += 1;
+        }
+    }
+    let (ty, trait_name) = if saw_for {
+        (second_last, Some(first_last))
+    } else {
+        (first_last, None)
+    };
+    if !punct_at(toks, j, '{') {
+        return (j + 1).min(end);
+    }
+    let close = skip_balanced(toks, j, '{', '}', end);
+    if !ty.is_empty() {
+        parse_items(toks, j + 1, close.saturating_sub(1), Some(&ty), out);
+        out.impls.push(ImplInfo { ty, trait_name, line });
+    }
+    close
+}
+
+fn parse_fn(
+    toks: &[Token],
+    i: usize,
+    end: usize,
+    owner: Option<&str>,
+    out: &mut ParsedFile,
+) -> usize {
+    let Some(name) = ident_at(toks, i + 1) else {
+        return i + 1;
+    };
+    let line = toks[i].line;
+    let name = name.to_string();
+    // Scan the signature for the body `{` at delimiter depth 0. `->`
+    // lexes as two puncts; the stray `>` is ignored because angle depth
+    // never goes negative.
+    let mut j = i + 2;
+    let mut angle = 0usize;
+    let mut paren = 0usize;
+    while j < end {
+        match toks[j].kind {
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle = angle.saturating_sub(1),
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren = paren.saturating_sub(1),
+            Tok::Punct('{') if angle == 0 && paren == 0 => break,
+            Tok::Punct(';') if angle == 0 && paren == 0 => {
+                // Signature only (trait method, extern) — no body.
+                out.fns.push(FnInfo {
+                    name,
+                    owner: owner.map(str::to_string),
+                    line,
+                    body: (j, j),
+                });
+                return j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= end {
+        return end;
+    }
+    let close = skip_balanced(toks, j, '{', '}', end);
+    out.fns.push(FnInfo {
+        name,
+        owner: owner.map(str::to_string),
+        line,
+        body: (j, close.saturating_sub(1)),
+    });
+    close
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn consts_with_literal_values() {
+        let p = parse(
+            "pub const FAULT_STREAM_LABEL: u64 = 0xFA17;\n\
+             const COMPUTED: u64 = BASE + 1;\n\
+             const SUFFIXED: u64 = 1_000u64;\n",
+        );
+        assert_eq!(p.consts.len(), 3);
+        assert_eq!(p.consts[0].name, "FAULT_STREAM_LABEL");
+        assert_eq!(p.consts[0].value, Some(0xFA17));
+        assert_eq!(p.consts[1].value, None);
+        assert_eq!(p.consts[2].value, Some(1000));
+    }
+
+    #[test]
+    fn struct_fields_and_visibility() {
+        let p = parse(
+            "pub struct Stats {\n\
+                 pub delivered: u64,\n\
+                 pub(crate) drops: u32,\n\
+                 inner: Vec<u8>,\n\
+             }\n\
+             struct Private;\n",
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Stats");
+        assert!(s.is_pub);
+        assert!(!p.structs[1].is_pub);
+        assert!(s.fields[0].ty_is_simple);
+        assert!(!s.fields[2].ty_is_simple, "Vec<u8> is not a bare counter type");
+        let f: Vec<(&str, bool, &str)> = s
+            .fields
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.ty.as_str()))
+            .collect();
+        assert_eq!(
+            f,
+            vec![
+                ("delivered", true, "u64"),
+                ("drops", true, "u32"),
+                ("inner", false, "Vec"),
+            ]
+        );
+    }
+
+    #[test]
+    fn impls_and_method_owners() {
+        let p = parse(
+            "impl Stats {\n\
+                 pub fn write_digest(&self, d: &mut Digest) { d.u64(self.delivered); }\n\
+             }\n\
+             impl<T> InjectorStats for Wrapper<T> {\n\
+                 fn write_digest(&self, d: &mut Digest) { self.inner.write_digest(d) }\n\
+             }\n",
+        );
+        assert_eq!(p.impls.len(), 2);
+        assert_eq!(p.impls[0].ty, "Stats");
+        assert_eq!(p.impls[0].trait_name, None);
+        assert_eq!(p.impls[1].ty, "Wrapper");
+        assert_eq!(p.impls[1].trait_name.as_deref(), Some("InjectorStats"));
+        let owners: Vec<Option<&str>> = p.fns.iter().map(|f| f.owner.as_deref()).collect();
+        assert_eq!(owners, vec![Some("Stats"), Some("Wrapper")]);
+    }
+
+    #[test]
+    fn fn_bodies_are_spanned_not_recursed() {
+        let src = "fn outer() {\n    const INNER: u64 = 3;\n    let x = 1;\n}\nfn after() {}\n";
+        let p = parse(src);
+        assert_eq!(p.consts.len(), 0, "body consts are not items");
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].name, "outer");
+        assert_eq!(p.fns[1].name, "after");
+        assert!(p.fns[0].body.0 < p.fns[0].body.1);
+    }
+
+    #[test]
+    fn nested_generic_signatures_find_their_body() {
+        let p = parse(
+            "fn collect<T: Iterator<Item = Vec<u8>>>(it: T) -> Vec<Vec<u8>> { it.collect() }\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.0 < p.fns[0].body.1);
+    }
+
+    #[test]
+    fn mods_recurse_and_cfg_test_is_recorded() {
+        let src = "\
+mod inner {
+    pub const A: u64 = 1;
+}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+}
+";
+        let p = parse(src);
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.cfg_test_line, Some(4));
+        // The test fn is still recorded; rules decide what test scope means.
+        assert_eq!(p.fns.len(), 1);
+    }
+
+    #[test]
+    fn use_paths_flatten() {
+        let p = parse("use crate::shard::{RackShard, OutMsg};\n");
+        assert_eq!(
+            p.uses[0].segments,
+            vec!["crate", "shard", "RackShard", "OutMsg"]
+        );
+    }
+}

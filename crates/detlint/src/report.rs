@@ -2,6 +2,12 @@
 
 use std::fmt;
 
+/// Version of the `target/detlint.json` schema. Bump when the shape of
+/// the machine-readable report changes so downstream tooling can detect
+/// which fields to expect. v1 (PR 5) had no version field; v2 adds
+/// `schema`, per-rule counts, and the workspace (symbol-graph) rules.
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// Every rule detlint knows. The `id()` string is both the report label
 /// and the name used in `detlint: allow(...)` directives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -15,7 +21,8 @@ pub enum RuleId {
     AmbientRng,
     /// A crate depends on something its layer must not see.
     LayerDeps,
-    /// A pub counter missing from its struct's `write_digest` fold.
+    /// A pub counter missing from its struct's `write_digest` fold
+    /// (v2: the fold may live in any file, including trait impls).
     DigestCoverage,
     /// Float accumulation over a nondeterministically ordered source.
     DetFloatOrder,
@@ -23,9 +30,39 @@ pub enum RuleId {
     ForbidUnsafe,
     /// A `detlint: allow` directive without a written reason.
     BadSuppression,
+    /// Workspace rule: `*_STREAM_LABEL`/`*_STREAM_BASE` constants must
+    /// be workspace-unique and every non-test `fork(...)` call site must
+    /// pass a declared label constant — no inline magic numbers.
+    StreamDiscipline,
+    /// Workspace rule: inside a `shard` module, cross-shard state may
+    /// only be touched by the mailbox/barrier (leader) API, and float
+    /// accumulation over mailbox drains must use explicit fixed-order
+    /// loops.
+    ShardSafety,
+    /// Workspace rule: a `detlint: allow` whose rules can no longer fire
+    /// in its scope is stale and must be removed — the allowlist only
+    /// shrinks.
+    SuppressionAudit,
 }
 
 impl RuleId {
+    /// Every registered rule, in canonical (report) order. The fixture
+    /// meta-test iterates this list, so adding a rule here without a
+    /// firing fixture and a clean counterpart fails CI.
+    pub const ALL: [RuleId; 11] = [
+        RuleId::UnorderedIter,
+        RuleId::WallClock,
+        RuleId::AmbientRng,
+        RuleId::LayerDeps,
+        RuleId::DigestCoverage,
+        RuleId::DetFloatOrder,
+        RuleId::ForbidUnsafe,
+        RuleId::BadSuppression,
+        RuleId::StreamDiscipline,
+        RuleId::ShardSafety,
+        RuleId::SuppressionAudit,
+    ];
+
     /// Canonical rule id — the name accepted by `allow(...)`.
     pub fn id(&self) -> &'static str {
         match self {
@@ -37,7 +74,26 @@ impl RuleId {
             RuleId::DetFloatOrder => "det_float_order",
             RuleId::ForbidUnsafe => "forbid_unsafe",
             RuleId::BadSuppression => "bad_suppression",
+            RuleId::StreamDiscipline => "stream_discipline",
+            RuleId::ShardSafety => "shard_safety",
+            RuleId::SuppressionAudit => "suppression_audit",
         }
+    }
+
+    /// Look a rule up by its canonical id. Unknown names return `None`;
+    /// the suppression audit uses this to ignore directive-shaped text
+    /// whose "rule" is a documentation placeholder.
+    pub fn from_id(id: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// Position of this rule in [`RuleId::ALL`] (indexes the per-rule
+    /// count arrays).
+    pub fn index(&self) -> usize {
+        RuleId::ALL
+            .iter()
+            .position(|r| r == self)
+            .expect("every RuleId is in ALL")
     }
 }
 
@@ -69,6 +125,12 @@ pub struct Report {
     pub suppressed: usize,
     /// Number of files scanned (`.rs` + `Cargo.toml`).
     pub files_scanned: usize,
+    /// Workspace-relative paths of every scanned file, in scan order.
+    /// Pins the scan set: the gate test asserts root `tests/`,
+    /// `examples/`, and `crates/*/tests/` are covered.
+    pub scanned: Vec<String>,
+    /// Suppressed-finding count per rule, aligned with [`RuleId::ALL`].
+    pub suppressed_by_rule: [usize; RuleId::ALL.len()],
 }
 
 impl Report {
@@ -83,7 +145,21 @@ impl Report {
         !self.findings.is_empty()
     }
 
-    /// Render the human-readable report.
+    /// `(rule, unsuppressed findings, suppressed findings)` for every
+    /// registered rule, in [`RuleId::ALL`] order.
+    pub fn rule_counts(&self) -> Vec<(RuleId, usize, usize)> {
+        RuleId::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let fired = self.findings.iter().filter(|f| f.rule == r).count();
+                (r, fired, self.suppressed_by_rule[i])
+            })
+            .collect()
+    }
+
+    /// Render the human-readable report, ending with the per-rule
+    /// finding/suppression counts `scripts/ci.sh lint` shows.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for f in &self.findings {
@@ -102,6 +178,11 @@ impl Report {
             self.suppressed,
             self.files_scanned,
         ));
+        out.push_str("detlint: per-rule findings/suppressed:");
+        for (rule, fired, supp) in self.rule_counts() {
+            out.push_str(&format!(" {}={fired}/{supp}", rule.id()));
+        }
+        out.push('\n');
         out
     }
 
@@ -112,8 +193,19 @@ impl Report {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str("  \"tool\": \"detlint\",\n");
+        out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        out.push_str("  \"rules\": {\n");
+        let counts = self.rule_counts();
+        for (i, (rule, fired, supp)) in counts.iter().enumerate() {
+            out.push_str(&format!(
+                "    {}: {{\"findings\": {fired}, \"suppressed\": {supp}}}{}\n",
+                json_str(rule.id()),
+                if i + 1 == counts.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  },\n");
         out.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
             out.push_str(&format!(
@@ -163,12 +255,31 @@ mod tests {
             }],
             suppressed: 2,
             files_scanned: 5,
+            ..Report::default()
         };
         r.sort();
         let j = r.to_json();
         assert!(j.contains("\"tool\": \"detlint\""));
+        assert!(j.contains("\"schema\": 2"));
         assert!(j.contains("\"a \\\"b\\\".rs\""));
         assert!(j.contains("tab\\there"));
         assert!(j.contains("\"suppressed\": 2"));
+        assert!(j.contains("\"wall_clock\": {\"findings\": 1, \"suppressed\": 0}"));
+    }
+
+    #[test]
+    fn every_rule_id_round_trips() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::from_id(r.id()), Some(r));
+        }
+        assert_eq!(RuleId::from_id("rule_id"), None, "doc placeholders are unknown");
+    }
+
+    #[test]
+    fn render_includes_per_rule_counts() {
+        let r = Report::default();
+        let s = r.render();
+        assert!(s.contains("per-rule findings/suppressed:"));
+        assert!(s.contains("stream_discipline=0/0"));
     }
 }

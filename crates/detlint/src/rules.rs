@@ -27,15 +27,24 @@
 //!   the same multiset of terms summed in two different orders can give
 //!   two different digests; collect into an ordered `Vec` (or sort)
 //!   before folding.
-//! * `digest_coverage` — for any struct with pub counter-typed fields
-//!   (`u64`, `i64`, `u32`) and a same-file `write_digest` method, every
-//!   counter must appear in the fold. This is the counter-omission bug
-//!   class PRs 2–3 fixed by hand when new stats fields landed without a
-//!   digest update; non-`u64` state (signed extrema like
-//!   `max_abs_skew_ns`, narrow counters) is just as easy to forget.
+//!
+//! `digest_coverage` moved to [`crate::wsrules`] in v2: the fold it
+//! checks may now live in any file (statfold trait impls included), so
+//! it runs on the workspace symbol graph rather than per file.
 
 use crate::lexer::{ident, Tok, Token};
 use crate::report::{Finding, RuleId};
+
+/// Test-ish code by path: integration tests, benches, examples — both
+/// the workspace-root directories and each crate's own.
+pub(crate) fn is_test_path(p: &str) -> bool {
+    p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("tests/")
+        || p.starts_with("benches/")
+        || p.starts_with("examples/")
+}
 
 /// Facts about the file being checked that the rules need.
 #[derive(Debug, Clone)]
@@ -47,8 +56,7 @@ pub struct FileCtx {
 impl FileCtx {
     /// Test-ish code by path: integration tests, benches, examples.
     fn is_test_path(&self) -> bool {
-        let p = &self.rel_path;
-        p.contains("/tests/") || p.contains("/benches/") || p.starts_with("examples/")
+        is_test_path(&self.rel_path)
     }
 
     /// A crate-root file that must carry `#![forbid(unsafe_code)]`.
@@ -134,7 +142,6 @@ pub fn check_file(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
     }
 
     findings.extend(det_float_order(ctx, tokens));
-    findings.extend(digest_coverage(ctx, tokens));
     findings
 }
 
@@ -192,37 +199,6 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
     })
 }
 
-/// digest_coverage: collect `pub struct X { pub field: u64, … }` and the
-/// identifiers mentioned inside `impl X { … fn write_digest … }`; report
-/// any counter the fold never names.
-fn digest_coverage(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
-    let structs = collect_counter_structs(tokens);
-    if structs.is_empty() {
-        return Vec::new();
-    }
-    let mut findings = Vec::new();
-    for s in &structs {
-        let Some(body_idents) = write_digest_idents(tokens, &s.name) else {
-            continue; // no write_digest for this struct in this file
-        };
-        for (field, line) in &s.counters {
-            if !body_idents.iter().any(|id| id == field) {
-                findings.push(Finding {
-                    rule: RuleId::DigestCoverage,
-                    file: ctx.rel_path.clone(),
-                    line: *line,
-                    message: format!(
-                        "pub counter `{}` is not folded into {}::write_digest; digests would \
-                         miss changes to it",
-                        field, s.name
-                    ),
-                });
-            }
-        }
-    }
-    findings
-}
-
 /// Sources whose iteration order is not a pure function of the data.
 fn is_nondet_order_source(name: &str) -> bool {
     matches!(
@@ -234,7 +210,7 @@ fn is_nondet_order_source(name: &str) -> bool {
 /// Is the `IntLit` at `i` the start of a float literal (`0.25`, `1f64`,
 /// `3e2`)? The lexer leaves `.` as punctuation, so `0.25` arrives as
 /// `IntLit(0) . IntLit(25)`.
-fn float_literal_at(tokens: &[Token], i: usize) -> bool {
+pub(crate) fn float_literal_at(tokens: &[Token], i: usize) -> bool {
     let Some(Tok::IntLit(text)) = tokens.get(i).map(|t| &t.kind) else {
         return false;
     };
@@ -287,36 +263,17 @@ fn det_float_order(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
         }
         let body = &tokens[start..j];
         if body.iter().any(|t| ident(t).is_some_and(is_nondet_order_source)) {
-            for (k, t) in body.iter().enumerate() {
-                let site = match ident(t) {
-                    // .sum::<f32>() / .product::<f64>()
-                    Some(acc @ ("sum" | "product"))
-                        if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
-                            && matches!(body.get(k + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
-                            && matches!(body.get(k + 3).map(|t| &t.kind), Some(Tok::Punct('<')))
-                            && matches!(body.get(k + 4).and_then(ident), Some("f32" | "f64")) =>
-                    {
-                        Some(acc)
-                    }
-                    // .fold(0.0, …) / .fold(0f64, …)
-                    Some("fold")
-                        if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct('(')))
-                            && float_literal_at(body, k + 2) =>
-                    {
-                        Some("fold")
-                    }
-                    _ => None,
-                };
-                if let Some(acc) = site {
-                    findings.push(Finding {
-                        rule: RuleId::DetFloatOrder,
-                        file: ctx.rel_path.clone(),
-                        line: t.line,
-                        message: format!(
-                            "float `{acc}` in a function touching a nondeterministically                              ordered source; float addition is not associative — collect                              into an ordered Vec (or sort) before accumulating"
-                        ),
-                    });
-                }
+            for (line, acc) in float_acc_sites(body) {
+                findings.push(Finding {
+                    rule: RuleId::DetFloatOrder,
+                    file: ctx.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "float `{acc}` in a function touching a nondeterministically \
+                         ordered source; float addition is not associative — collect \
+                         into an ordered Vec (or sort) before accumulating"
+                    ),
+                });
             }
         }
         i = j.max(start + 1);
@@ -324,159 +281,44 @@ fn det_float_order(ctx: &FileCtx, tokens: &[Token]) -> Vec<Finding> {
     findings
 }
 
-struct CounterStruct {
-    name: String,
-    /// (field name, declaration line) for every pub counter-typed
-    /// (`u64`/`i64`/`u32`) field.
-    counters: Vec<(String, u32)>,
-}
-
-fn collect_counter_structs(tokens: &[Token]) -> Vec<CounterStruct> {
+/// Float-accumulation call sites in a token span: `.sum::<f32/f64>()`,
+/// `.product::<…>()`, or a `fold` seeded with a float literal. Returns
+/// `(line, accumulator name)` per site. Shared between `det_float_order`
+/// (nondet-source heuristic) and the graph-backed `shard_safety`
+/// mailbox-drain check.
+pub(crate) fn float_acc_sites(body: &[Token]) -> Vec<(u32, &'static str)> {
     let mut out = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        // pub struct Name {
-        if ident(&tokens[i]) == Some("pub")
-            && tokens.get(i + 1).and_then(ident) == Some("struct")
-        {
-            if let Some(name_tok) = tokens.get(i + 2) {
-                if let Tok::Ident(name) = &name_tok.kind {
-                    // Skip to the opening brace (tolerates generics,
-                    // where-clauses; tuple structs hit `(` or `;` first
-                    // and are skipped).
-                    let mut j = i + 3;
-                    let mut found_brace = false;
-                    while j < tokens.len() {
-                        match tokens[j].kind {
-                            Tok::Punct('{') => {
-                                found_brace = true;
-                                break;
-                            }
-                            Tok::Punct(';') | Tok::Punct('(') => break,
-                            _ => j += 1,
-                        }
-                    }
-                    if found_brace {
-                        let (counters, end) = collect_fields(tokens, j + 1);
-                        if !counters.is_empty() {
-                            out.push(CounterStruct {
-                                name: name.clone(),
-                                counters,
-                            });
-                        }
-                        i = end;
-                        continue;
-                    }
-                }
+    for (k, t) in body.iter().enumerate() {
+        let site = match ident(t) {
+            // .sum::<f32>() / .product::<f64>()
+            Some("sum")
+                if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+                    && matches!(body.get(k + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+                    && matches!(body.get(k + 3).map(|t| &t.kind), Some(Tok::Punct('<')))
+                    && matches!(body.get(k + 4).and_then(ident), Some("f32" | "f64")) =>
+            {
+                Some("sum")
             }
-        }
-        i += 1;
-    }
-    out
-}
-
-/// From just inside a struct body, collect `pub name: <counter>` fields
-/// (counter types: `u64`, `i64`, `u32`) until the matching close brace.
-/// Returns (fields, index past the brace).
-fn collect_fields(tokens: &[Token], mut i: usize) -> (Vec<(String, u32)>, usize) {
-    let mut fields = Vec::new();
-    let mut depth = 1usize;
-    while i < tokens.len() && depth > 0 {
-        match &tokens[i].kind {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => depth -= 1,
-            Tok::Ident(kw) if kw == "pub" && depth == 1 => {
-                // pub name : u64 [,}]
-                if let (Some(name_t), Some(colon), Some(ty)) =
-                    (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
-                {
-                    if let Tok::Ident(name) = &name_t.kind {
-                        let term_ok = matches!(
-                            tokens.get(i + 4).map(|t| &t.kind),
-                            Some(Tok::Punct(',')) | Some(Tok::Punct('}')) | None
-                        );
-                        if matches!(colon.kind, Tok::Punct(':'))
-                            && matches!(ident(ty), Some("u64" | "i64" | "u32"))
-                            && term_ok
-                        {
-                            fields.push((name.clone(), name_t.line));
-                        }
-                    }
-                }
+            Some("product")
+                if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+                    && matches!(body.get(k + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+                    && matches!(body.get(k + 3).map(|t| &t.kind), Some(Tok::Punct('<')))
+                    && matches!(body.get(k + 4).and_then(ident), Some("f32" | "f64")) =>
+            {
+                Some("product")
             }
-            _ => {}
-        }
-        i += 1;
-    }
-    (fields, i)
-}
-
-/// Identifiers inside `fn write_digest`'s body within `impl <name>`.
-fn write_digest_idents(tokens: &[Token], name: &str) -> Option<Vec<String>> {
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if ident(&tokens[i]) == Some("impl") {
-            // Skip impl generics: impl<'a> Name<'a> { … }
-            let mut j = i + 1;
-            if matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
-                let mut angle = 1usize;
-                j += 1;
-                while j < tokens.len() && angle > 0 {
-                    match tokens[j].kind {
-                        Tok::Punct('<') => angle += 1,
-                        Tok::Punct('>') => angle -= 1,
-                        _ => {}
-                    }
-                    j += 1;
-                }
+            // .fold(0.0, …) / .fold(0f64, …)
+            Some("fold")
+                if matches!(body.get(k + 1).map(|t| &t.kind), Some(Tok::Punct('(')))
+                    && float_literal_at(body, k + 2) =>
+            {
+                Some("fold")
             }
-            if tokens.get(j).and_then(ident) == Some(name) {
-                // Find the impl body, then look for fn write_digest at
-                // any depth inside it.
-                while j < tokens.len() && !matches!(tokens[j].kind, Tok::Punct('{')) {
-                    j += 1;
-                }
-                let mut depth = 1usize;
-                j += 1;
-                while j < tokens.len() && depth > 0 {
-                    match &tokens[j].kind {
-                        Tok::Punct('{') => depth += 1,
-                        Tok::Punct('}') => depth -= 1,
-                        Tok::Ident(kw)
-                            if kw == "fn"
-                                && tokens.get(j + 1).and_then(ident)
-                                    == Some("write_digest") =>
-                        {
-                            return Some(fn_body_idents(tokens, j + 2));
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-            }
+            _ => None,
+        };
+        if let Some(acc) = site {
+            out.push((t.line, acc));
         }
-        i += 1;
-    }
-    None
-}
-
-/// Collect identifiers in the brace-delimited body starting at or after
-/// `i` (skips the signature up to the first `{`).
-fn fn_body_idents(tokens: &[Token], mut i: usize) -> Vec<String> {
-    while i < tokens.len() && !matches!(tokens[i].kind, Tok::Punct('{')) {
-        i += 1;
-    }
-    let mut depth = 1usize;
-    i += 1;
-    let mut out = Vec::new();
-    while i < tokens.len() && depth > 0 {
-        match &tokens[i].kind {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => depth -= 1,
-            Tok::Ident(s) => out.push(s.clone()),
-            _ => {}
-        }
-        i += 1;
     }
     out
 }

@@ -11,11 +11,19 @@
 //! directive on a comment-only line suppresses the first code line
 //! below its comment block (so a multi-line reason still reaches the
 //! statement it annotates). The reason is **mandatory**: a directive
-//! without one
-//! still suppresses its target — so the report points at the real
-//! problem, the missing justification — but emits a `bad_suppression`
-//! finding of its own, which fails the lint gate.
+//! without one still suppresses its target — so the report points at
+//! the real problem, the missing justification — but emits a
+//! `bad_suppression` finding of its own, which fails the lint gate.
+//!
+//! v2 parses directives from *comment text only* (the lexer's
+//! [`crate::lexer::Comment`] records for Rust, a quote-aware `#` scan
+//! for TOML), never from raw lines: directive-shaped text inside a
+//! string literal — which fixture tests embed on purpose — is inert.
+//! v2 also counts how many findings each directive actually suppressed,
+//! which feeds the `suppression_audit` workspace rule: a directive that
+//! suppresses nothing is stale and becomes a finding itself.
 
+use crate::lexer::Comment;
 use crate::report::{Finding, RuleId};
 
 /// One parsed `detlint: allow(...)` directive.
@@ -43,16 +51,17 @@ fn comment_only(line: &str) -> bool {
     t.is_empty() || t.starts_with("//") || t.starts_with('#') || t.starts_with("*")
 }
 
-/// Scan raw source lines for directives. Line-based on purpose: the
-/// directives live inside comments, which the token stream drops.
-pub fn parse(src: &str) -> Vec<Directive> {
+/// Parse directives out of a file's comments. `src` is still needed for
+/// the targeting walk (a standalone directive reaches the first code
+/// line below its comment block).
+pub fn parse_comments(src: &str, comments: &[Comment]) -> Vec<Directive> {
     let lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
-    for (idx, raw) in lines.iter().enumerate() {
-        let Some(pos) = raw.find(MARKER) else {
+    for c in comments {
+        let Some(pos) = c.text.find(MARKER) else {
             continue;
         };
-        let rest = raw[pos + MARKER.len()..].trim_start();
+        let rest = c.text[pos + MARKER.len()..].trim_start();
         let Some(body) = rest.strip_prefix("allow(") else {
             continue;
         };
@@ -68,19 +77,20 @@ pub fn parse(src: &str) -> Vec<Directive> {
         let reason = body[close + 1..]
             .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
             .trim();
+        let idx = (c.line as usize).saturating_sub(1);
         // A trailing comment suppresses its own line; a comment-only
         // line suppresses the first code line below the comment block.
-        let target = if comment_only(raw) {
+        let target = if lines.get(idx).copied().map(comment_only).unwrap_or(true) {
             let mut j = idx + 1;
             while j < lines.len() && comment_only(lines[j]) {
                 j += 1;
             }
             j as u32 + 1
         } else {
-            idx as u32 + 1
+            c.line
         };
         out.push(Directive {
-            line: idx as u32 + 1,
+            line: c.line,
             target_line: target,
             rules,
             has_reason: !reason.is_empty(),
@@ -89,27 +99,82 @@ pub fn parse(src: &str) -> Vec<Directive> {
     out
 }
 
-/// Split `findings` into (kept, suppressed-count) under `directives`,
-/// appending a `bad_suppression` finding for each reasonless directive.
-pub fn apply(
+/// Extract `#` comments from TOML, respecting basic strings so a `#`
+/// inside `"…"` is not a comment opener.
+pub fn toml_comments(src: &str) -> Vec<Comment> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let mut in_str = false;
+        let mut prev_backslash = false;
+        for (pos, ch) in raw.char_indices() {
+            match ch {
+                '"' if !prev_backslash => in_str = !in_str,
+                '#' if !in_str => {
+                    out.push(Comment {
+                        line: idx as u32 + 1,
+                        text: raw[pos..].to_string(),
+                    });
+                    break;
+                }
+                _ => {}
+            }
+            prev_backslash = ch == '\\' && !prev_backslash;
+        }
+    }
+    out
+}
+
+/// Parse directives from raw source using TOML comment rules. Used for
+/// `Cargo.toml` manifests; Rust sources go through [`parse_comments`]
+/// with the lexer's comment records.
+pub fn parse(src: &str) -> Vec<Directive> {
+    parse_comments(src, &toml_comments(src))
+}
+
+/// The outcome of applying directives to one file's findings.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings that survived, plus a `bad_suppression` finding for
+    /// every reasonless directive.
+    pub kept: Vec<Finding>,
+    /// The findings that were silenced (kept whole so the report can
+    /// count suppressions per rule).
+    pub suppressed: Vec<Finding>,
+    /// How many findings each directive silenced, aligned with the
+    /// input directive slice. Zero hits on a directive whose rules are
+    /// all real is what `suppression_audit` flags as stale.
+    pub hits: Vec<usize>,
+}
+
+/// Apply `directives` to `findings`, counting per-directive hits.
+pub fn apply_counted(
     rel_path: &str,
     directives: &[Directive],
-    mut findings: Vec<Finding>,
-) -> (Vec<Finding>, usize) {
-    let mut suppressed = 0usize;
-    findings.retain(|f| {
-        let hit = directives.iter().any(|d| {
-            (d.line == f.line || d.target_line == f.line)
+    findings: Vec<Finding>,
+) -> Applied {
+    let mut out = Applied {
+        hits: vec![0usize; directives.len()],
+        ..Applied::default()
+    };
+    for f in findings {
+        let mut hit = false;
+        for (di, d) in directives.iter().enumerate() {
+            if (d.line == f.line || d.target_line == f.line)
                 && d.rules.iter().any(|r| r == f.rule.id())
-        });
-        if hit {
-            suppressed += 1;
+            {
+                out.hits[di] += 1;
+                hit = true;
+            }
         }
-        !hit
-    });
+        if hit {
+            out.suppressed.push(f);
+        } else {
+            out.kept.push(f);
+        }
+    }
     for d in directives {
         if !d.has_reason {
-            findings.push(Finding {
+            out.kept.push(Finding {
                 rule: RuleId::BadSuppression,
                 file: rel_path.to_string(),
                 line: d.line,
@@ -121,5 +186,98 @@ pub fn apply(
             });
         }
     }
-    (findings, suppressed)
+    out
+}
+
+/// Split `findings` into (kept, suppressed-count) under `directives`,
+/// appending a `bad_suppression` finding for each reasonless directive.
+pub fn apply(
+    rel_path: &str,
+    directives: &[Directive],
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, usize) {
+    let applied = apply_counted(rel_path, directives, findings);
+    (applied.kept, applied.suppressed.len())
+}
+
+/// The stale-suppression audit: a directive whose listed rules are all
+/// real (registered) yet silenced nothing can no longer fire in its
+/// scope — the violation it justified is gone, so the allow must go
+/// too. Directives naming an unknown rule are skipped: those are
+/// documentation placeholders (`allow(rule_id)` in a doc comment), not
+/// live suppressions.
+pub fn audit(rel_path: &str, directives: &[Directive], applied: &Applied) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (di, d) in directives.iter().enumerate() {
+        if applied.hits[di] > 0 || d.rules.is_empty() {
+            continue;
+        }
+        if !d.rules.iter().all(|r| RuleId::from_id(r).is_some()) {
+            continue;
+        }
+        out.push(Finding {
+            rule: RuleId::SuppressionAudit,
+            file: rel_path.to_string(),
+            line: d.line,
+            message: format!(
+                "stale suppression: allow({}) silenced no finding — the violation it \
+                 justified is gone, so remove the directive",
+                d.rules.join(", "),
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_full;
+
+    fn rust_directives(src: &str) -> Vec<Directive> {
+        parse_comments(src, &lex_full(src).comments)
+    }
+
+    #[test]
+    fn directive_inside_string_literal_is_inert() {
+        let src = "let s = \"// detlint: allow(wall_clock) — fake\";\n";
+        assert!(rust_directives(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_and_standalone_targets() {
+        let src = "\
+code(); // detlint: allow(wall_clock) — measured site
+// detlint: allow(ambient_rng) — reason spans
+// the next line too
+below();
+";
+        let ds = rust_directives(src);
+        assert_eq!(ds.len(), 2);
+        assert_eq!((ds[0].line, ds[0].target_line), (1, 1));
+        assert_eq!((ds[1].line, ds[1].target_line), (2, 4));
+    }
+
+    #[test]
+    fn toml_hash_inside_string_is_not_a_comment() {
+        let src = "name = \"has # detlint: allow(layer_deps) inside\"\n# detlint: allow(layer_deps) — real\n";
+        let ds = parse(src);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].line, 2);
+    }
+
+    #[test]
+    fn audit_flags_zero_hit_known_rules_only() {
+        let src = "\
+// detlint: allow(wall_clock) — nothing here uses clocks anymore
+fine();
+// doc example: write detlint: allow(rule_id) — why
+";
+        let ds = rust_directives(src);
+        let applied = apply_counted("x.rs", &ds, Vec::new());
+        let stale = audit("x.rs", &ds, &applied);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].line, 1);
+        assert_eq!(stale[0].rule, RuleId::SuppressionAudit);
+    }
 }

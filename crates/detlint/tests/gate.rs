@@ -122,4 +122,20 @@ fn whole_workspace_scans_clean() {
     );
     assert!(report.files_scanned > 100, "scan saw the whole workspace");
     assert!(report.suppressed >= 7, "the annotated legitimate sites are counted");
+
+    // The scan set covers integration tests, examples, and per-crate
+    // test trees — not just crates/*/src. These paths are load-bearing:
+    // a seeded wall-clock read in an example must fail the gate too.
+    for pinned in [
+        "tests/determinism.rs",
+        "examples/quickstart.rs",
+        "crates/tcp/tests/survival.rs",
+        "crates/detlint/tests/gate.rs",
+        "Cargo.toml",
+    ] {
+        assert!(
+            report.scanned.iter().any(|p| p == pinned),
+            "expected {pinned} in the scan set"
+        );
+    }
 }

@@ -122,3 +122,61 @@ fn int_literals_keep_text_and_floats_split() {
         .collect();
     assert_eq!(ints, vec!["0x5f5f", "1_000u64", "1", "5"]);
 }
+
+#[test]
+fn tuple_field_float_lookalikes() {
+    // `x.0e1` is a tuple-field access (field `0e1` does not exist, but
+    // lexically it is ident, dot, number token) — it must not be glued
+    // into a float or eat the following tokens.
+    let src = "let y = x.0e1; let z = t.0.1; end";
+    let toks = lex(src);
+    let ints: Vec<String> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            Tok::IntLit(s) => Some(s.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ints, vec!["0e1", "0", "1"]);
+    assert_eq!(ident_names(src), vec!["let", "y", "x", "let", "z", "t", "end"]);
+}
+
+#[test]
+fn hex_with_e_digit_is_one_token_but_decimal_exponent_splits() {
+    // `0x1e9` is a single hex literal (`e` is a hex digit); `1.5e3`
+    // splits at the dot because the lexer never owns a `.`.
+    let src = "let a = 0x1e9; let b = 1.5e3;";
+    let ints: Vec<String> = lex(src)
+        .into_iter()
+        .filter_map(|t| match t.kind {
+            Tok::IntLit(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ints, vec!["0x1e9", "1", "5e3"]);
+}
+
+#[test]
+fn byte_and_char_escapes() {
+    // Escaped quotes and hex escapes must not end the literal early.
+    let src = r"let a = b'\xFF'; let b = '\''; let c = b'\''; let d = '\\'; end";
+    assert_eq!(
+        ident_names(src),
+        vec!["let", "a", "let", "b", "let", "c", "let", "d", "end"]
+    );
+    let chars = lex(src).iter().filter(|t| t.kind == Tok::CharLit).count();
+    assert_eq!(chars, 4);
+}
+
+#[test]
+fn shift_right_is_two_puncts_not_a_generic_closer_confusion() {
+    // `Vec<Vec<u64>>` ends in two `>` puncts; `x >> 2` produces the
+    // same two tokens. The parser's depth tracking relies on never
+    // seeing a fused `>>` token.
+    let src = "let v: Vec<Vec<u64>> = f(); let y = x >> 2;";
+    let gts = lex(src)
+        .iter()
+        .filter(|t| t.kind == Tok::Punct('>'))
+        .count();
+    assert_eq!(gts, 4, "two closers plus two shift halves, all single puncts");
+}

@@ -1,0 +1,82 @@
+//! Meta-test: every registered rule must ship a fixture proving it
+//! fires and a clean counterpart proving it can stay quiet. A rule
+//! added to [`detlint::RuleId::ALL`] without both files fails CI here,
+//! before anyone trusts a lint that was never seen firing.
+
+use detlint::{analyze, RuleId, Source};
+use std::path::PathBuf;
+
+/// Workspace-relative path a rule's fixtures are analyzed under. Most
+/// rules don't care; the exceptions are path-scoped by design.
+fn rel_path_for(rule: RuleId) -> &'static str {
+    match rule.id() {
+        "forbid_unsafe" => "crates/demo/src/lib.rs",
+        "shard_safety" => "crates/rdcn/src/shard.rs",
+        "layer_deps" => "crates/demo/Cargo.toml",
+        _ => "crates/demo/src/util.rs",
+    }
+}
+
+/// Fixture file name for a rule: `<id>.rs`, except manifests.
+fn fixture_name(rule: RuleId) -> String {
+    if rule.id() == "layer_deps" {
+        format!("{}.toml", rule.id())
+    } else {
+        format!("{}.rs", rule.id())
+    }
+}
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn read_fixture(path: &PathBuf, rule: RuleId, kind: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "rule `{}` has no {kind} fixture at {}: {e}\n\
+             every registered rule needs a firing fixture under \
+             fixtures/ and a clean counterpart under fixtures/clean/",
+            rule.id(),
+            path.display()
+        )
+    })
+}
+
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    for &rule in &RuleId::ALL {
+        let path = fixture_dir().join(fixture_name(rule));
+        let contents = read_fixture(&path, rule, "firing");
+        let report = analyze(&[Source {
+            rel_path: rel_path_for(rule).to_string(),
+            contents,
+        }]);
+        let fired = report.findings.iter().filter(|f| f.rule == rule).count();
+        assert!(
+            fired > 0,
+            "rule `{}` never fired on its own fixture {} — findings: {:?}",
+            rule.id(),
+            path.display(),
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_clean_counterpart() {
+    for &rule in &RuleId::ALL {
+        let path = fixture_dir().join("clean").join(fixture_name(rule));
+        let contents = read_fixture(&path, rule, "clean");
+        let report = analyze(&[Source {
+            rel_path: rel_path_for(rule).to_string(),
+            contents,
+        }]);
+        assert!(
+            report.findings.is_empty(),
+            "clean fixture {} for rule `{}` still produces findings: {:?}",
+            path.display(),
+            rule.id(),
+            report.findings
+        );
+    }
+}

@@ -194,3 +194,136 @@ wire.workspace = true
     assert!(findings.is_empty(), "{findings:?}");
     assert_eq!(suppressed, 1);
 }
+
+#[test]
+fn layer_deps_fixture_fires_on_both_lines() {
+    let src = include_str!("../fixtures/layer_deps.toml");
+    let (findings, _) = layering::check_manifest("crates/tcp/Cargo.toml", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("layer_deps", 7), ("layer_deps", 8)],
+        "tcp->rdcn breaks the DAG and serde breaks the offline guarantee"
+    );
+}
+
+#[test]
+fn forbid_unsafe_fixture_fires_at_crate_root() {
+    let src = include_str!("../fixtures/forbid_unsafe.rs");
+    let (findings, _) = check_rust_source("crates/demo/src/lib.rs", src);
+    assert_eq!(ids(&findings), vec![("forbid_unsafe", 1)]);
+}
+
+#[test]
+fn stream_discipline_fires_on_dup_value_magic_and_undeclared() {
+    let src = include_str!("../fixtures/stream_discipline.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![
+            ("stream_discipline", 5),
+            ("stream_discipline", 9),
+            ("stream_discipline", 10),
+        ],
+        "duplicate value, inline magic number, and undeclared label all \
+         fire; declared labels, base+offset forks, and #[cfg(test)] \
+         forks do not"
+    );
+    assert!(findings[0].message.contains("FAULT_STREAM_LABEL"));
+    assert!(findings[0].message.contains("DUPLICATE_STREAM_LABEL"));
+    assert!(findings[1].message.contains("fork"));
+    assert!(findings[2].message.contains("GHOST_STREAM_LABEL"));
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn shard_safety_fires_on_mailbox_bypass_and_float_fold() {
+    let src = include_str!("../fixtures/shard_safety.rs");
+    let (findings, suppressed) = check_rust_source("crates/rdcn/src/shard.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("shard_safety", 35), ("shard_safety", 40)],
+        "a shard writing through the world's `shards` and a float fold \
+         over a mailbox drain both fire; the leader's fixed (src, dst) \
+         drain does not"
+    );
+    assert!(findings[0].message.contains("shards"));
+    assert!(findings[1].message.contains("float `sum`"));
+    assert_eq!(suppressed, 0);
+}
+
+#[test]
+fn shard_safety_is_scoped_to_shard_files() {
+    // The same source outside rdcn::shard is someone else's business.
+    let src = include_str!("../fixtures/shard_safety.rs");
+    let (findings, _) = check_rust_source("crates/demo/src/util.rs", src);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn suppression_audit_reports_stale_allow() {
+    let src = include_str!("../fixtures/suppression_audit.rs");
+    let (findings, suppressed) = check_rust_source("crates/demo/src/util.rs", src);
+    assert_eq!(
+        ids(&findings),
+        vec![("suppression_audit", 4)],
+        "the zero-hit wall_clock allow is stale; the unordered_iter \
+         allow still earns its keep"
+    );
+    assert!(findings[0].message.contains("wall_clock"));
+    assert_eq!(suppressed, 1);
+}
+
+// ---- cross-file workspace rules, driven through `analyze` ----
+
+fn src(rel_path: &str, contents: &str) -> detlint::Source {
+    detlint::Source {
+        rel_path: rel_path.to_string(),
+        contents: contents.to_string(),
+    }
+}
+
+#[test]
+fn stream_label_collision_across_files() {
+    let report = detlint::analyze(&[
+        src(
+            "crates/demo/src/stream_a.rs",
+            include_str!("../fixtures/ws/stream_a.rs"),
+        ),
+        src(
+            "crates/demo/src/stream_b.rs",
+            include_str!("../fixtures/ws/stream_b.rs"),
+        ),
+    ]);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule.id(), "stream_discipline");
+    assert_eq!(f.file, "crates/demo/src/stream_b.rs");
+    assert_eq!(f.line, 3);
+    assert!(
+        f.message.contains("stream_a.rs"),
+        "the finding names the first declaration: {}",
+        f.message
+    );
+}
+
+#[test]
+fn digest_fold_in_another_file_counts_as_coverage() {
+    let report = detlint::analyze(&[
+        src(
+            "crates/demo/src/digest_stats.rs",
+            include_str!("../fixtures/ws/digest_stats.rs"),
+        ),
+        src(
+            "crates/demo/src/digest_fold.rs",
+            include_str!("../fixtures/ws/digest_fold.rs"),
+        ),
+    ]);
+    // `forwarded` is folded by the trait impl in the other file;
+    // `dropped` is not folded anywhere.
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    let f = &report.findings[0];
+    assert_eq!(f.rule.id(), "digest_coverage");
+    assert_eq!(f.file, "crates/demo/src/digest_stats.rs");
+    assert_eq!(f.line, 5);
+    assert!(f.message.contains("dropped"));
+}

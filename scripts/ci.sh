@@ -5,12 +5,16 @@
 #
 # Usage: scripts/ci.sh [soak|chaos|bench|bigrun|lint|tails|skew]
 #   lint  — run only detlint, the in-repo determinism & layering
-#           static-analysis pass (DESIGN.md §10): no HashMap/HashSet
-#           iteration, no unannotated wall-clock reads, no ad-hoc RNG
-#           seeding, crate-layering DAG, digest counter coverage,
-#           forbid(unsafe_code) everywhere. Findings go to
-#           target/detlint.json; any unsuppressed finding exits
-#           non-zero. Also runs in the default gate before clippy.
+#           static-analysis pass (DESIGN.md §10): per-file token rules
+#           (HashMap/HashSet iteration, wall-clock reads, ad-hoc RNG
+#           seeding, layering DAG, forbid(unsafe_code)) plus the v2
+#           workspace symbol-graph rules (stream-label discipline,
+#           cross-file digest coverage, shard mailbox safety, stale
+#           suppression audit). The run prints per-rule fired/suppressed
+#           counts and total scan timing; findings go to
+#           target/detlint.json (schema 2, includes the per-rule
+#           breakdown). Any unsuppressed finding exits non-zero. Also
+#           runs in the default gate before clippy.
 #   soak  — deepen the property-test search: every testkit `props!`
 #           block runs TK_CASES cases (default 10000) instead of its
 #           built-in count, and the chaos soak runs 5000 scenarios.
@@ -24,9 +28,13 @@
 #   bench — run the microbench suites and gate them against the
 #           checked-in baselines at the repo root (BENCH_simulator.json,
 #           BENCH_simulator_e2e.json): any benchmark losing more than
-#           25% events/sec vs its baseline median fails the gate.
-#           After a deliberate perf change, refresh the baselines by
-#           copying the freshly written files over the checked-in ones.
+#           25% events/sec vs its baseline median fails the gate. The
+#           detlint scan bench (BENCH_detlint.json: lex / parse / full
+#           pipeline over the in-memory workspace) is gated too, at a
+#           50% budget — single-iteration wall timings see scheduler
+#           noise, same rationale as bigrun. After a deliberate perf
+#           change, refresh the baselines by copying the freshly
+#           written files over the checked-in ones.
 #   bigrun — run the large-multirack engine gate (bench/bin/bigrun):
 #           16 racks x 48 TDTCP flows, serial engine vs the sharded
 #           engine at workers 1/2/4. Fails if the sharded digests
@@ -89,6 +97,8 @@ if [[ "$MODE" == "bench" ]]; then
     NEW_DIR="$(mktemp -d)"
     echo "==> cargo bench -p bench --bench simulator (into ${NEW_DIR})"
     TK_BENCH_DIR="$NEW_DIR" cargo bench --offline -q -p bench --bench simulator
+    echo "==> cargo bench -p detlint --bench scan (into ${NEW_DIR})"
+    TK_BENCH_DIR="$NEW_DIR" cargo bench --offline -q -p detlint --bench scan
     echo "==> perf-regression gate (>25% events/sec loss vs checked-in baseline fails)"
     for f in BENCH_simulator.json BENCH_simulator_e2e.json; do
         if [[ -f "$f" ]]; then
@@ -97,6 +107,14 @@ if [[ "$MODE" == "bench" ]]; then
             echo "no checked-in baseline $f — seed one with: cp $NEW_DIR/$f ."
         fi
     done
+    # Lint-scan timings are single-iteration wall clock, so they get the
+    # wider bigrun-style budget instead of the 25% microbench one.
+    if [[ -f BENCH_detlint.json ]]; then
+        cargo run -q --offline --release -p bench --bin benchgate -- \
+            --max-loss-pct 50 BENCH_detlint.json "$NEW_DIR/BENCH_detlint.json"
+    else
+        echo "no checked-in baseline BENCH_detlint.json — seed one with: cp $NEW_DIR/BENCH_detlint.json ."
+    fi
     echo "BENCH OK (refresh baselines after deliberate perf changes:"
     echo "          cp $NEW_DIR/BENCH_*.json .)"
     exit 0
